@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper, prints it in
+a readable form (so ``pytest benchmarks/ --benchmark-only -s`` doubles as a
+report generator) and asserts the qualitative shape the paper reports.  The
+``run_once`` helper wraps pytest-benchmark so that the (deterministic,
+model-driven) experiment is executed exactly once per benchmark round.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, iterations=1, rounds=1)
+
+    return _run

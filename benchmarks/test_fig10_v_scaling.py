@@ -1,0 +1,63 @@
+"""Figure 10 — impact of the vector size V and of wide shared-memory stores.
+
+Checks on the 1024 x 4096 x 4096 BERT-large matrix:
+
+* 128-bit output stores are never slower than 32-bit ones and the gap grows
+  with sparsity, approaching the "up to 2x" the paper reports;
+* larger V never hurts (the paper's V=128 curves sit at or above V=32);
+* speedups rise with sparsity for every V.
+"""
+
+from repro.evaluation.figures import figure10_v_scaling
+from repro.evaluation.reporting import format_table, is_monotonic_increasing
+
+V_VALUES = (32, 64, 128)
+PATTERNS = ((2, 7), (2, 8), (2, 10), (2, 20), (2, 40), (2, 100))
+
+
+def test_fig10_v_scaling(run_once):
+    results = run_once(figure10_v_scaling, v_values=V_VALUES, patterns=PATTERNS)
+
+    rows = []
+    for label, per_v in results.items():
+        for v in V_VALUES:
+            entry = per_v[v]
+            rows.append(
+                [
+                    label,
+                    v,
+                    round(entry["stores_128bit"], 2),
+                    round(entry["stores_32bit"], 2),
+                    round(entry["stores_128bit"] / entry["stores_32bit"], 2),
+                ]
+            )
+    print()
+    print(
+        format_table(
+            ["V:N:M", "V", "speedup 128-bit stores", "speedup 32-bit stores", "128b/32b"],
+            rows,
+            title="Figure 10: V scaling and output-store width, 1024 x 4096 x 4096 (speedup vs cuBLAS)",
+        )
+    )
+
+    for label, per_v in results.items():
+        for v in V_VALUES:
+            entry = per_v[v]
+            # Wide stores never lose, and the advantage stays below ~2.5x.
+            assert entry["stores_128bit"] >= entry["stores_32bit"]
+            assert entry["stores_128bit"] / entry["stores_32bit"] < 2.5
+        # Larger V never hurts at fixed sparsity (within 5%).
+        assert per_v[128]["stores_128bit"] >= per_v[32]["stores_128bit"] * 0.95
+
+    # The 128-bit advantage grows with sparsity (most visible at 2:100).
+    advantage = [
+        results[f"{n}:{m}"][128]["stores_128bit"] / results[f"{n}:{m}"][128]["stores_32bit"]
+        for n, m in PATTERNS
+    ]
+    assert advantage[-1] == max(advantage)
+    assert advantage[-1] > 1.5  # approaches the paper's "up to 2x"
+
+    # Speedups rise with sparsity for every vector size.
+    for v in V_VALUES:
+        series = [results[f"{n}:{m}"][v]["stores_128bit"] for n, m in PATTERNS]
+        assert is_monotonic_increasing(series, tolerance=0.1)

@@ -1,0 +1,70 @@
+"""Figure 12 — baseline performance at 50% sparsity (2:4 format).
+
+BERT-base (768 x K x 4096) and BERT-large (1024 x K x 4096) weight GEMMs,
+K swept over the paper's grid.  Claims checked:
+
+* sparse-kernel performance improves with GEMM size (arithmetic intensity);
+* Spatha reaches ~2x over cuBLAS at large K but never exceeds the 2x cap;
+* Spatha is at least as fast as cuSparseLt everywhere, with the largest
+  advantage (up to ~1.38x) on the small-K end;
+* cuBLAS lands in the 40-80 TFLOP/s band of the paper's plot.
+"""
+
+from repro.evaluation.figures import figure12_baseline_24
+from repro.evaluation.reporting import format_table, is_monotonic_increasing
+
+K_VALUES = (768, 1536, 3072, 4608, 7680, 12288)
+
+
+def test_fig12_baseline_24(run_once):
+    results = run_once(figure12_baseline_24, k_values=K_VALUES)
+
+    rows = []
+    for model, per_k in results.items():
+        for k in K_VALUES:
+            e = per_k[k]
+            rows.append(
+                [
+                    model,
+                    k,
+                    round(e["cublas_tflops"], 1),
+                    round(e["spatha_tflops"], 1),
+                    round(e["cusparselt_tflops"], 1),
+                    round(e["spatha_speedup"], 2),
+                    round(e["cusparselt_speedup"], 2),
+                ]
+            )
+    print()
+    print(
+        format_table(
+            ["model", "K", "cuBLAS TFLOP/s", "Spatha TFLOP/s", "cuSparseLt TFLOP/s",
+             "Spatha speedup", "cuSparseLt speedup"],
+            rows,
+            title="Figure 12: 2:4 baseline comparison (speedup vs cuBLAS)",
+        )
+    )
+
+    for model, per_k in results.items():
+        spatha = [per_k[k]["spatha_speedup"] for k in K_VALUES]
+        cusparselt = [per_k[k]["cusparselt_speedup"] for k in K_VALUES]
+        cublas_tflops = [per_k[k]["cublas_tflops"] for k in K_VALUES]
+
+        # Performance improves with the GEMM size and stays at/just below the
+        # 2x hardware cap (a ~2% excursion is model noise from the different
+        # tile heuristics of the dense baseline).
+        assert is_monotonic_increasing(spatha, tolerance=0.05)
+        assert all(1.0 < s <= 2.05 for s in spatha)
+        assert all(0.9 < s <= 2.05 for s in cusparselt)
+
+        # Spatha >= cuSparseLt at every size; advantage largest at small K
+        # and bounded by ~1.45x (the paper reports up to 1.38x).
+        ratios = [s / c for s, c in zip(spatha, cusparselt)]
+        assert all(r >= 0.99 for r in ratios)
+        assert max(ratios) <= 1.45
+        assert ratios[0] >= ratios[-1] - 1e-6
+
+        # Spatha approaches 2x at the largest size.
+        assert spatha[-1] > 1.75
+
+        # cuBLAS throughput in the plausible band of the paper's plot.
+        assert all(35.0 < t < 85.0 for t in cublas_tflops)

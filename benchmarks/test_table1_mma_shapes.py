@@ -1,0 +1,28 @@
+"""Table 1 — matrix shapes for mma.sp on Sparse Tensor Cores."""
+
+from repro.evaluation.figures import table1_mma_shapes
+from repro.evaluation.reporting import format_table
+
+
+def test_table1_mma_shapes(run_once):
+    rows = run_once(table1_mma_shapes)
+
+    print()
+    print(
+        format_table(
+            ["precision", "format", "supported shapes", "m", "n"],
+            [[r["precision"], r["format"], r["supported_shapes"], r["m"], r["n"]] for r in rows],
+            title="Table 1: mma.sp shapes on Sparse Tensor Cores",
+        )
+    )
+
+    by_precision = {r["precision"]: r for r in rows}
+    # Exactly the paper's table.
+    assert by_precision["fp32"]["format"] == "1:2"
+    assert by_precision["fp32"]["supported_shapes"] == "k8, k16"
+    assert by_precision["fp16"]["format"] == "2:4"
+    assert by_precision["fp16"]["supported_shapes"] == "k16, k32"
+    assert by_precision["uint8"]["supported_shapes"] == "k32, k64"
+    assert by_precision["uint4"]["supported_shapes"] == "k64, k128"
+    # M and N dimensions fixed to 16 and 8 for every precision.
+    assert all(r["m"] == 16 and r["n"] == 8 for r in rows)

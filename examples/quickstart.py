@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Quickstart: prune a weight matrix to V:N:M and run it through Spatha.
+
+This walks the three core steps of the paper on a small, self-contained
+example:
+
+1. prune a dense weight matrix to the V:N:M pattern (magnitude pruning),
+2. compress it into the V:N:M storage format (values / m-indices /
+   column-loc) and inspect the footprint,
+3. run the Spatha SpMM — numerically, against a dense reference, and
+   through the performance model to see the projected speedup over cuBLAS
+   on the simulated RTX 3090.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats import VNMSparseMatrix
+from repro.kernels import cublas
+from repro.kernels.common import GemmProblem
+from repro.kernels.spatha import Spatha, theoretical_speedup_cap
+from repro.pruning import vnm_prune
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+
+    # ------------------------------------------------------------------
+    # 1. A "trained" weight matrix and its V:N:M pruning.
+    #    V=64 vertical blocks, 2:8 pattern -> 75% sparsity that still maps
+    #    onto the 2:4 Sparse Tensor Core hardware.
+    # ------------------------------------------------------------------
+    out_features, in_features = 512, 1024
+    v, n, m = 64, 2, 8
+    weight = rng.normal(0.0, 0.02, size=(out_features, in_features))
+
+    result = vnm_prune(weight, v=v, n=n, m=m)
+    print(f"pruned {out_features}x{in_features} weight to {v}:{n}:{m}")
+    print(f"  achieved sparsity : {result.sparsity:.3f}")
+    print(f"  retained energy   : {result.energy(weight):.3f}")
+
+    # ------------------------------------------------------------------
+    # 2. Compression into the V:N:M format (Figure 3 of the paper).
+    # ------------------------------------------------------------------
+    sparse = VNMSparseMatrix.from_dense(result.pruned_weights, v=v, n=n, m=m)
+    fp = sparse.footprint("fp16")
+    print("compressed structures:")
+    print(f"  values     : {sparse.values.shape}  ({fp.values_bytes / 1024:.1f} KiB)")
+    print(f"  m-indices  : {sparse.m_indices.shape}  ({fp.metadata_bytes / 1024:.1f} KiB)")
+    print(f"  column-loc : {sparse.column_loc.shape}  ({fp.index_bytes / 1024:.1f} KiB)")
+    print(f"  compression ratio vs dense fp16: {sparse.compression_ratio('fp16'):.2f}x")
+
+    # ------------------------------------------------------------------
+    # 3. SpMM: numerics + modelled performance.
+    # ------------------------------------------------------------------
+    spatha = Spatha()
+    tokens = 4096  # batch of activations (C dimension of the GEMM)
+    activations = rng.normal(size=(in_features, tokens)).astype(np.float32)
+
+    output = spatha.spmm(sparse, activations)
+    reference = np.asarray(result.pruned_weights, dtype=np.float16).astype(np.float32) @ np.asarray(
+        activations, dtype=np.float16
+    ).astype(np.float32)
+    max_err = np.abs(output - reference).max()
+    print(f"SpMM output {output.shape}, max abs error vs dense reference: {max_err:.2e}")
+
+    problem = GemmProblem.from_nm(r=out_features, k=in_features, c=tokens, n=n, m=m, v=v)
+    sparse_perf = spatha.estimate(problem)
+    dense_perf = cublas.estimate_time(problem)
+    print("modelled execution on the simulated RTX 3090:")
+    print(f"  cuBLAS dense GEMM : {dense_perf.time_us:9.1f} us")
+    print(f"  Spatha {v}:{n}:{m} SpMM : {sparse_perf.time_us:9.1f} us")
+    print(
+        f"  speedup {dense_perf.time_us / sparse_perf.time_us:.2f}x "
+        f"(theoretical cap for {n}:{m} on SPTCs: {theoretical_speedup_cap(n, m):.0f}x)"
+    )
+    print(f"  tuned kernel configuration: {sparse_perf.details.get('config')}")
+
+
+if __name__ == "__main__":
+    main()

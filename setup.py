@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file
+exists so that ``pip install -e .`` keeps working on offline environments
+whose setuptools cannot build PEP-660 editable wheels (no ``wheel``
+package available).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,127 @@
+"""Blocked-ELL format.
+
+Blocked-Ellpack is one of the compressed layouts supported by NVIDIA's
+cuSPARSE library (the paper's related-work section).  The matrix is tiled
+into square ``b x b`` blocks; every block row stores the same number of
+blocks (the maximum over block rows), padding with explicit zero blocks.
+The format is included as a substrate so block-wise pruning (Figure 2,
+scheme 1) has a matching storage format and so the footprint comparisons in
+the examples can contrast it with V:N:M.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from .base import FormatFootprint, SparseFormat, as_float_matrix
+from ..hardware.memory import dtype_bytes
+
+
+@dataclass
+class BlockedEllMatrix(SparseFormat):
+    """A matrix stored in Blocked-ELL layout.
+
+    Attributes
+    ----------
+    blocks:
+        ``(num_block_rows, ell_cols, b, b)`` float32 array of stored blocks
+        (padded block slots hold zeros).
+    block_cols:
+        ``(num_block_rows, ell_cols)`` int64 array with the block-column
+        index of each slot; ``-1`` marks a padding slot.
+    b:
+        Block edge length.
+    nrows / ncols:
+        Logical matrix shape (both divisible by ``b``).
+    """
+
+    blocks: np.ndarray
+    block_cols: np.ndarray
+    b: int
+    nrows: int
+    ncols: int
+    format_name: str = "blocked_ell"
+
+    def __post_init__(self) -> None:
+        self.blocks = np.ascontiguousarray(self.blocks, dtype=np.float32)
+        self.block_cols = np.ascontiguousarray(self.block_cols, dtype=np.int64)
+        if self.b <= 0:
+            raise ValueError("block size must be positive")
+        if self.nrows % self.b or self.ncols % self.b:
+            raise ValueError("matrix dimensions must be divisible by the block size")
+        nbr = self.nrows // self.b
+        if self.blocks.ndim != 4 or self.blocks.shape[0] != nbr or self.blocks.shape[2:] != (self.b, self.b):
+            raise ValueError("blocks must have shape (num_block_rows, ell_cols, b, b)")
+        if self.block_cols.shape != self.blocks.shape[:2]:
+            raise ValueError("block_cols must match blocks' leading dimensions")
+        valid = self.block_cols[self.block_cols >= 0]
+        if valid.size and valid.max() >= self.ncols // self.b:
+            raise ValueError("block column indices out of range")
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, b: int = 16, tol: float = 0.0) -> "BlockedEllMatrix":
+        """Store every ``b x b`` block that contains at least one non-zero."""
+        arr = as_float_matrix(dense)
+        rows, cols = arr.shape
+        if b <= 0:
+            raise ValueError("block size must be positive")
+        if rows % b or cols % b:
+            raise ValueError(f"matrix shape {arr.shape} must be divisible by block size {b}")
+        nbr, nbc = rows // b, cols // b
+        tiled = arr.reshape(nbr, b, nbc, b).transpose(0, 2, 1, 3)  # (nbr, nbc, b, b)
+        keep = np.abs(tiled).max(axis=(2, 3)) > tol  # (nbr, nbc)
+        ell_cols = int(keep.sum(axis=1).max()) if keep.size else 0
+        ell_cols = max(ell_cols, 1)
+
+        blocks = np.zeros((nbr, ell_cols, b, b), dtype=np.float32)
+        block_cols = np.full((nbr, ell_cols), -1, dtype=np.int64)
+        for i in range(nbr):
+            cols_i = np.nonzero(keep[i])[0]
+            for slot, c in enumerate(cols_i):
+                blocks[i, slot] = tiled[i, c]
+                block_cols[i, slot] = c
+        return cls(blocks=blocks, block_cols=block_cols, b=b, nrows=rows, ncols=cols)
+
+    def to_dense(self) -> np.ndarray:
+        """Reconstruct the dense ``(nrows, ncols)`` matrix."""
+        dense = np.zeros((self.nrows, self.ncols), dtype=np.float32)
+        nbr, ell_cols = self.block_cols.shape
+        for i in range(nbr):
+            for slot in range(ell_cols):
+                c = self.block_cols[i, slot]
+                if c < 0:
+                    continue
+                dense[i * self.b : (i + 1) * self.b, c * self.b : (c + 1) * self.b] = self.blocks[i, slot]
+        return dense
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.nrows, self.ncols)
+
+    @property
+    def nnz(self) -> int:
+        """Explicitly stored elements (all elements of all non-padding blocks)."""
+        return int(np.count_nonzero(self.block_cols >= 0) * self.b * self.b)
+
+    def footprint(self, precision: str = "fp16") -> FormatFootprint:
+        """All ELL slots at ``precision`` + one 4-byte index per slot."""
+        return FormatFootprint(
+            values_bytes=self.blocks.size * dtype_bytes(precision),
+            metadata_bytes=0.0,
+            index_bytes=self.block_cols.size * 4.0,
+        )
+
+    @property
+    def ell_width(self) -> int:
+        """Number of block slots per block row (including padding)."""
+        return int(self.block_cols.shape[1])
+
+    def padding_fraction(self) -> float:
+        """Fraction of ELL slots that are padding."""
+        total = self.block_cols.size
+        if total == 0:
+            return 0.0
+        return float(np.count_nonzero(self.block_cols < 0)) / total

@@ -1,0 +1,224 @@
+"""Tensor-core instruction set description (Table 1 of the paper).
+
+Sparse Tensor Cores are programmed through the PTX ``mma.sp`` instruction.
+Each precision supports a small set of instruction *shapes* ``m x n x k``
+where ``m`` and ``n`` are fixed (16 and 8) and ``k`` is the sparsified
+dimension.  The paper's Table 1 enumerates the supported shapes; this module
+encodes that table and the corresponding dense ``mma`` shapes, and exposes
+helpers to pick a shape for a kernel configuration and to reason about the
+fragment sizes each instruction consumes.
+
+These descriptions drive two things in the reproduction:
+
+* the instruction-tile decomposition of Spatha's warp tiles
+  (:mod:`repro.kernels.spatha.tiles`), and
+* the per-instruction cycle costs used by the performance model
+  (:mod:`repro.kernels.spatha.perf_model`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class MmaShape:
+    """Shape of one ``mma`` / ``mma.sp`` tensor-core instruction.
+
+    Attributes
+    ----------
+    m, n, k:
+        Logical GEMM dimensions covered by a single instruction.  For
+        ``mma.sp`` the LHS operand is stored 50% compressed, i.e. the real
+        LHS fragment holds ``m x k/2`` elements plus metadata.
+    precision:
+        Input element type: ``"fp16"``, ``"fp32"`` (tf32 path), ``"uint8"``
+        or ``"uint4"``.
+    sparse:
+        ``True`` for ``mma.sp`` (Sparse Tensor Core), ``False`` for dense
+        ``mma``.
+    """
+
+    m: int
+    n: int
+    k: int
+    precision: str = "fp16"
+    sparse: bool = False
+
+    @property
+    def name(self) -> str:
+        """NVIDIA-style mnemonic, e.g. ``m16n8k32``."""
+        return f"m{self.m}n{self.n}k{self.k}"
+
+    @property
+    def flops(self) -> int:
+        """Multiply-add FLOPs performed by one instruction (2*m*n*k)."""
+        return 2 * self.m * self.n * self.k
+
+    @property
+    def lhs_elements(self) -> int:
+        """Number of LHS elements physically held in registers.
+
+        For sparse instructions the LHS is stored at 50% density so the
+        fragment carries ``m * k / 2`` values (plus 2-bit metadata per
+        value, accounted separately).
+        """
+        if self.sparse:
+            return self.m * self.k // 2
+        return self.m * self.k
+
+    @property
+    def rhs_elements(self) -> int:
+        """Number of RHS elements consumed by one instruction (k*n)."""
+        return self.k * self.n
+
+    @property
+    def acc_elements(self) -> int:
+        """Number of accumulator elements produced (m*n)."""
+        return self.m * self.n
+
+    @property
+    def metadata_bits(self) -> int:
+        """Bits of sparsity metadata consumed by one sparse instruction.
+
+        Two bits per kept LHS element; zero for dense instructions.
+        """
+        if not self.sparse:
+            return 0
+        return 2 * self.lhs_elements
+
+
+# ----------------------------------------------------------------------
+# Table 1: Matrix shapes for mma.sp on SPTCs (m and n fixed to 16 and 8)
+# ----------------------------------------------------------------------
+SPARSE_MMA_SHAPES: Dict[str, List[MmaShape]] = {
+    "fp32": [
+        MmaShape(16, 8, 8, "fp32", sparse=True),
+        MmaShape(16, 8, 16, "fp32", sparse=True),
+    ],
+    "fp16": [
+        MmaShape(16, 8, 16, "fp16", sparse=True),
+        MmaShape(16, 8, 32, "fp16", sparse=True),
+    ],
+    "uint8": [
+        MmaShape(16, 8, 32, "uint8", sparse=True),
+        MmaShape(16, 8, 64, "uint8", sparse=True),
+    ],
+    "uint4": [
+        MmaShape(16, 8, 64, "uint4", sparse=True),
+        MmaShape(16, 8, 128, "uint4", sparse=True),
+    ],
+}
+
+#: N:M pattern natively supported by the hardware for each precision
+#: (Table 1, "Format" column).
+NATIVE_NM_PATTERN: Dict[str, Tuple[int, int]] = {
+    "fp32": (1, 2),
+    "fp16": (2, 4),
+    "uint8": (2, 4),
+    "uint4": (2, 4),
+}
+
+#: Dense mma shapes relevant to the half-precision kernels in the paper.
+DENSE_MMA_SHAPES: Dict[str, List[MmaShape]] = {
+    "fp16": [
+        MmaShape(16, 8, 8, "fp16", sparse=False),
+        MmaShape(16, 8, 16, "fp16", sparse=False),
+    ],
+}
+
+
+def sparse_mma_shapes(precision: str = "fp16") -> List[MmaShape]:
+    """Return the list of supported ``mma.sp`` shapes for a precision.
+
+    Raises
+    ------
+    KeyError
+        If the precision has no Sparse Tensor Core support.
+    """
+    key = precision.lower()
+    if key not in SPARSE_MMA_SHAPES:
+        raise KeyError(
+            f"no mma.sp support for precision {precision!r}; "
+            f"supported: {sorted(SPARSE_MMA_SHAPES)}"
+        )
+    return list(SPARSE_MMA_SHAPES[key])
+
+
+def default_sparse_shape(precision: str = "fp16") -> MmaShape:
+    """The shape used by Spatha's kernels by default (largest k).
+
+    The paper's kernels use ``m16n8k32`` for half precision.
+    """
+    shapes = sparse_mma_shapes(precision)
+    return max(shapes, key=lambda s: s.k)
+
+
+def find_shape(name: str, precision: str = "fp16", sparse: bool = True) -> MmaShape:
+    """Find an instruction shape by mnemonic (e.g. ``"m16n8k32"``).
+
+    Parameters
+    ----------
+    name:
+        Mnemonic of the shape.
+    precision:
+        Element precision.
+    sparse:
+        Whether to search sparse (``mma.sp``) or dense (``mma``) shapes.
+    """
+    table = SPARSE_MMA_SHAPES if sparse else DENSE_MMA_SHAPES
+    for shape in table.get(precision.lower(), []):
+        if shape.name == name:
+            return shape
+    raise KeyError(f"shape {name!r} not available for precision {precision!r} (sparse={sparse})")
+
+
+def native_nm(precision: str = "fp16") -> Tuple[int, int]:
+    """Return the (N, M) pattern natively supported by SPTCs.
+
+    For half precision this is (2, 4): every group of four values keeps at
+    most two non-zeros.
+    """
+    key = precision.lower()
+    if key not in NATIVE_NM_PATTERN:
+        raise KeyError(f"precision {precision!r} has no native N:M support")
+    return NATIVE_NM_PATTERN[key]
+
+
+@dataclass(frozen=True)
+class InstructionCost:
+    """Issue cost of one tensor-core instruction on one SM sub-partition.
+
+    ``mma.sp`` on Ampere has the same issue latency as the dense ``mma`` of
+    half the k extent; this is how the 2x math speedup materialises.
+    """
+
+    shape: MmaShape
+    issue_cycles: float
+
+    @property
+    def flops_per_cycle(self) -> float:
+        """Effective FLOPs per cycle retired by one warp issuing this op."""
+        return self.shape.flops / self.issue_cycles
+
+
+def instruction_cost(shape: MmaShape) -> InstructionCost:
+    """Cycle cost of issuing one tensor-core instruction from a warp.
+
+    The model uses the published Ampere throughput of 256 dense FP16 FMA
+    (512 FLOP) per tensor core per cycle, i.e. a full ``m16n8k16`` dense mma
+    retires in ~4 cycles per warp and ``m16n8k32`` sparse in the same ~4
+    cycles (double effective math).
+    """
+    # One SM sub-partition has one TC; a warp's mma occupies it for
+    # shape.flops / (512 FLOP/cycle) cycles for dense math.  Sparse shapes
+    # move twice the logical FLOPs through the same unit time.
+    dense_flops_per_tc_cycle = 512.0
+    logical_flops = shape.flops
+    if shape.sparse:
+        effective = logical_flops / 2.0
+    else:
+        effective = float(logical_flops)
+    cycles = max(1.0, effective / dense_flops_per_tc_cycle)
+    return InstructionCost(shape=shape, issue_cycles=cycles)

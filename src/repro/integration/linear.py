@@ -1,0 +1,148 @@
+"""``Spmm`` module and model sparsification pass (Listing 1 / Section 7.2.2).
+
+The paper replaces ``torch.nn.Linear`` modules whose weights were marked
+sparse with an ``Spmm`` module that unpacks the ``VNMTensor`` (values,
+columns, metadata) and calls ``spatha.spmm``.  This module provides the
+numpy equivalent plus :func:`sparsify_encoder`, the convenience pass that
+walks a :class:`~repro.models.transformer.TransformerEncoder`, applies a
+:class:`~repro.integration.sparsifier.VNMSparsifier` to a selected list of
+weights and swaps the corresponding layers — the "few lines of code" user
+experience the paper advertises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from .sparsifier import VNMSparsifier
+from .vnm_tensor import VNMTensor
+from ..kernels.spatha import Spatha
+from ..models.layers import DenseLinear, SparseLinear
+from ..models.transformer import TransformerEncoder
+
+
+@dataclass
+class SpmmLinear:
+    """Drop-in replacement of a dense linear layer running on Spatha.
+
+    Mirrors the ``Spmm(torch.nn.Module)`` of the paper's Listing 1: it is
+    constructed *from* the original dense layer plus the sparsified weight
+    and keeps the original bias.
+    """
+
+    weight: VNMTensor
+    bias: Optional[np.ndarray] = None
+    name: str = "spmm_linear"
+    spatha: Spatha = field(default_factory=Spatha)
+
+    @classmethod
+    def from_dense(
+        cls,
+        original: DenseLinear,
+        sparsifier: VNMSparsifier,
+        spatha: Optional[Spatha] = None,
+    ) -> "SpmmLinear":
+        """Build the module the way Listing 1 does: sparsify ``original.weight``."""
+        vnm = sparsifier.sparsify(original.weight)
+        return cls(
+            weight=vnm,
+            bias=None if original.bias is None else original.bias.copy(),
+            name=original.name,
+            spatha=spatha or Spatha(),
+        )
+
+    @property
+    def out_features(self) -> int:
+        return self.weight.shape[0]
+
+    @property
+    def in_features(self) -> int:
+        return self.weight.shape[1]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """``y = spatha.spmm(values, columns, metadata, x, bias)``.
+
+        Accepts activations of shape ``(..., in_features)``; padding added
+        by the sparsifier on the K dimension is matched by zero-padding the
+        activations (zero rows contribute nothing to the product).
+        """
+        x = np.asarray(x, dtype=np.float32)
+        if x.shape[-1] != self.in_features:
+            raise ValueError(f"input feature dimension {x.shape[-1]} != {self.in_features}")
+        flat = x.reshape(-1, x.shape[-1])  # (tokens, in_features)
+        padded_r, padded_k = self.weight.padded_shape
+        rhs = flat.T
+        if padded_k != self.in_features:
+            rhs = np.zeros((padded_k, flat.shape[0]), dtype=np.float32)
+            rhs[: self.in_features] = flat.T
+        out = self.spatha.spmm(self.weight.matrix, rhs)  # (padded_r, tokens)
+        out = out[: self.out_features]
+        if self.bias is not None:
+            out = out + self.bias.reshape(-1, 1)
+        return out.T.reshape(*x.shape[:-1], self.out_features)
+
+    def to_sparse_linear(self) -> SparseLinear:
+        """Convert to the model-layer abstraction (for latency accounting)."""
+        return SparseLinear(
+            sparse_weight=self.weight.matrix, bias=self.bias, name=self.name, spatha=self.spatha
+        )
+
+
+def sparsify_encoder(
+    encoder: TransformerEncoder,
+    sparsifier: VNMSparsifier,
+    weight_filter: Optional[Callable[[str], bool]] = None,
+    weight_names: Optional[Sequence[str]] = None,
+    spatha: Optional[Spatha] = None,
+) -> List[str]:
+    """Sparsify the selected weights of an encoder in place.
+
+    Parameters
+    ----------
+    encoder:
+        The model to modify.
+    sparsifier:
+        The V:N:M sparsifier to apply.
+    weight_filter:
+        Predicate on the qualified layer name (e.g. keep only
+        ``"attention."`` layers).  Defaults to "all prunable weights", the
+        choice the paper's end-to-end study makes.
+    weight_names:
+        Alternatively, an explicit list of qualified names ("users can
+        specify a list of weights to be made sparse").
+    spatha:
+        Shared Spatha handle (so all layers reuse one tuner cache).
+
+    Returns
+    -------
+    list of str
+        The qualified names of the layers that were replaced.
+    """
+    if weight_filter is not None and weight_names is not None:
+        raise ValueError("pass either weight_filter or weight_names, not both")
+    selected: Optional[set] = set(weight_names) if weight_names is not None else None
+    shared_spatha = spatha or Spatha()
+    replaced: List[str] = []
+
+    def convert(name: str, layer):
+        if isinstance(layer, (SparseLinear,)):
+            return None
+        if selected is not None and name not in selected:
+            return None
+        if weight_filter is not None and not weight_filter(name):
+            return None
+        if not isinstance(layer, DenseLinear):
+            return None
+        module = SpmmLinear.from_dense(layer, sparsifier, spatha=shared_spatha)
+        replaced.append(name)
+        return module.to_sparse_linear()
+
+    encoder.apply_to_linears(convert)
+    if selected is not None:
+        missing = selected - set(replaced)
+        if missing:
+            raise KeyError(f"weights not found in the encoder: {sorted(missing)}")
+    return replaced

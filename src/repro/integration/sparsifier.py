@@ -1,0 +1,93 @@
+"""``VNMSparsifier`` — prune a dense tensor into the V:N:M format.
+
+Mirrors the class of the same name in the paper's Listing 1: it carries the
+``n``, ``m`` and ``v`` hyper-parameters, prunes an incoming dense weight to
+the V:N:M pattern (magnitude pruning by default, the second-order pruner on
+request) and produces a :class:`~repro.integration.vnm_tensor.VNMTensor`.
+The registered STen implementation (`torch_tensor_to_vnm` in the paper)
+lives at the bottom of this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .sten import SparseTensorWrapper, register_sparsifier_implementation
+from .vnm_tensor import VNMTensor
+from ..formats.vnm import VNMSparseMatrix
+from ..pruning.masks import apply_mask
+from ..pruning.second_order.obs_vnm import SecondOrderConfig, second_order_vnm_prune
+from ..pruning.vnm import pad_to_vnm_shape, vnm_mask
+
+
+@dataclass
+class VNMSparsifier:
+    """Sparsifier producing V:N:M tensors.
+
+    Parameters
+    ----------
+    n, m, v:
+        The target V:N:M configuration.
+    method:
+        ``"magnitude"`` (default) or ``"second_order"``.
+    second_order_config:
+        Optional configuration for the second-order pruner.
+    """
+
+    n: int = 2
+    m: int = 8
+    v: int = 64
+    method: str = "magnitude"
+    second_order_config: Optional[SecondOrderConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.n <= 0 or self.m <= 0 or self.v <= 0:
+            raise ValueError("n, m and v must be positive")
+        if self.n > min(4, self.m):
+            raise ValueError("n must be <= 4 (and <= m) to map onto 2:4 SPTCs")
+        if self.method not in {"magnitude", "second_order"}:
+            raise ValueError(f"unknown pruning method {self.method!r}")
+
+    def sparsify(self, tensor: np.ndarray, grads: Optional[np.ndarray] = None) -> VNMTensor:
+        """Prune ``tensor`` to V:N:M and compress it.
+
+        Tensors whose shape is not divisible by (V, M) are zero-padded (the
+        padding stays pruned, so it never contributes to the SpMM result)
+        and the original shape is recorded on the returned
+        :class:`VNMTensor`.
+        """
+        dense = np.asarray(tensor, dtype=np.float64)
+        if dense.ndim != 2:
+            raise ValueError("VNMSparsifier expects a 2-D weight tensor")
+        original_shape = dense.shape
+        padded, _ = pad_to_vnm_shape(dense, self.v, self.m)
+
+        if self.method == "second_order":
+            result = second_order_vnm_prune(
+                padded, v=self.v, n=self.n, m=self.m, config=self.second_order_config, grads=grads
+            )
+            pruned = result.pruned_weights
+        else:
+            pruned = apply_mask(padded, vnm_mask(padded, v=self.v, n=self.n, m=self.m))
+
+        matrix = VNMSparseMatrix.from_dense(pruned, v=self.v, n=self.n, m=self.m, strict=True)
+        return VNMTensor(matrix=matrix, original_shape=original_shape)
+
+    # The paper's function name; kept as an alias so Listing 1 reads the same.
+    def vnm_sparsifier(self, tensor: np.ndarray) -> VNMTensor:
+        """Alias of :meth:`sparsify` (the name used in the paper's listing)."""
+        return self.sparsify(tensor)
+
+
+@register_sparsifier_implementation(sparsifier=VNMSparsifier, inp=np.ndarray, out=VNMTensor)
+def numpy_tensor_to_vnm(sparsifier: VNMSparsifier, tensor: np.ndarray, grad_fmt=None) -> SparseTensorWrapper:
+    """STen registration: dense numpy tensor -> VNMTensor (Listing 1).
+
+    The wrapper keeps the dense original so verification (and, in the real
+    system, the dense-gradient path) can reference it.
+    """
+    vnm = sparsifier.sparsify(tensor)
+    return SparseTensorWrapper.wrapped_from_dense(vnm, tensor, grad_fmt)

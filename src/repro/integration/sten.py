@@ -1,0 +1,116 @@
+"""A minimal, PyTorch-free re-implementation of the STen interface.
+
+The paper integrates Spatha into PyTorch through STen (Ivanov et al.): a
+*sparsifier implementation registry* maps ``(sparsifier type, input tensor
+type, output tensor type)`` triples to conversion functions, and a
+``SparseTensorWrapper`` keeps the compressed tensor together with the dense
+tensor it came from so autograd (and, here, verification) can fall back to
+it.  Listing 1 of the paper registers exactly one such implementation:
+``VNMSparsifier`` applied to a ``torch.Tensor`` producing a ``VNMTensor``.
+
+This module reproduces that mechanism on numpy so the end-to-end pipeline
+("mark these weights sparse, everything downstream dispatches to Spatha")
+works the same way without PyTorch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple, Type
+
+import numpy as np
+
+
+#: Registry: (sparsifier type, input type, output type) -> implementation.
+_SPARSIFIER_IMPLEMENTATIONS: Dict[Tuple[type, type, type], Callable] = {}
+
+
+def register_sparsifier_implementation(sparsifier: type, inp: type, out: type) -> Callable:
+    """Decorator registering a sparsifier implementation (STen's API).
+
+    The decorated callable receives ``(sparsifier_instance, tensor,
+    grad_fmt)`` and must return a :class:`SparseTensorWrapper` whose wrapped
+    tensor is an instance of ``out``.
+    """
+    if not isinstance(sparsifier, type) or not isinstance(inp, type) or not isinstance(out, type):
+        raise TypeError("sparsifier, inp and out must be types")
+
+    def decorator(fn: Callable) -> Callable:
+        key = (sparsifier, inp, out)
+        if key in _SPARSIFIER_IMPLEMENTATIONS:
+            raise ValueError(f"an implementation is already registered for {key}")
+        _SPARSIFIER_IMPLEMENTATIONS[key] = fn
+        return fn
+
+    return decorator
+
+
+def find_sparsifier_implementation(sparsifier: type, inp: type, out: type) -> Callable:
+    """Look up a registered implementation (exact types, then subclasses)."""
+    key = (sparsifier, inp, out)
+    if key in _SPARSIFIER_IMPLEMENTATIONS:
+        return _SPARSIFIER_IMPLEMENTATIONS[key]
+    for (s, i, o), fn in _SPARSIFIER_IMPLEMENTATIONS.items():
+        if issubclass(sparsifier, s) and issubclass(inp, i) and issubclass(out, o):
+            return fn
+    raise KeyError(f"no sparsifier implementation registered for {key}")
+
+
+def clear_registry() -> None:
+    """Remove all registered implementations (test isolation helper)."""
+    _SPARSIFIER_IMPLEMENTATIONS.clear()
+
+
+def registry_size() -> int:
+    """Number of registered implementations."""
+    return len(_SPARSIFIER_IMPLEMENTATIONS)
+
+
+@dataclass
+class SparseTensorWrapper:
+    """Holds a compressed tensor together with its dense origin.
+
+    STen uses the wrapper to dispatch operators on the compressed form and
+    to keep gradient-format information; the reproduction keeps the same
+    three fields so the code in the paper's Listing 1 maps one-to-one.
+    """
+
+    wrapped_tensor: Any
+    dense_reference: Optional[np.ndarray] = None
+    grad_fmt: Optional[Any] = None
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def wrapped_from_dense(
+        cls, wrapped: Any, dense: np.ndarray, grad_fmt: Optional[Any] = None
+    ) -> "SparseTensorWrapper":
+        """STen's constructor name: wrap ``wrapped`` remembering ``dense``."""
+        return cls(wrapped_tensor=wrapped, dense_reference=np.asarray(dense, dtype=np.float32), grad_fmt=grad_fmt)
+
+    def to_dense(self) -> np.ndarray:
+        """Reconstruct the dense tensor from the wrapped compressed form."""
+        wrapped = self.wrapped_tensor
+        if hasattr(wrapped, "to_dense"):
+            return np.asarray(wrapped.to_dense(), dtype=np.float32)
+        if self.dense_reference is not None:
+            return self.dense_reference
+        raise TypeError("wrapped tensor cannot be densified and no dense reference is stored")
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """Logical shape of the wrapped tensor."""
+        wrapped = self.wrapped_tensor
+        if hasattr(wrapped, "shape"):
+            return tuple(wrapped.shape)
+        if self.dense_reference is not None:
+            return tuple(self.dense_reference.shape)
+        raise AttributeError("wrapped tensor has no shape")
+
+
+def sparsify(sparsifier: Any, tensor: np.ndarray, out_type: Type, grad_fmt: Optional[Any] = None) -> SparseTensorWrapper:
+    """Apply a sparsifier via the registry (the call STen makes internally)."""
+    fn = find_sparsifier_implementation(type(sparsifier), np.ndarray, out_type)
+    wrapper = fn(sparsifier, np.asarray(tensor), grad_fmt)
+    if not isinstance(wrapper, SparseTensorWrapper):
+        raise TypeError("sparsifier implementations must return a SparseTensorWrapper")
+    return wrapper

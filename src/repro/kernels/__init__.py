@@ -1,0 +1,26 @@
+"""SpMM / GEMM kernel libraries (functional numerics + performance models).
+
+* :mod:`~repro.kernels.cublas` — dense HGEMM baseline (the denominator of
+  every speedup in the paper).
+* :mod:`~repro.kernels.cusparselt` — the vendor 2:4 SpMM library.
+* :mod:`~repro.kernels.sputnik` — unstructured CSR SpMM (no tensor cores).
+* :mod:`~repro.kernels.clasp` — column-vector sparse SpMM on tensor cores
+  (vectorSparse / CLASP).
+* :mod:`~repro.kernels.spatha` — the paper's V:N:M SpMM library.
+"""
+
+from . import clasp, cublas, cusparse, cusparselt, sputnik
+from .common import GemmProblem, KernelResult, reference_matmul_fp16
+from .spatha import Spatha
+
+__all__ = [
+    "clasp",
+    "cublas",
+    "cusparse",
+    "cusparselt",
+    "sputnik",
+    "GemmProblem",
+    "KernelResult",
+    "reference_matmul_fp16",
+    "Spatha",
+]

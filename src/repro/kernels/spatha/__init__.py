@@ -1,0 +1,33 @@
+"""Spatha: the paper's high-performance V:N:M SpMM library (Section 4)."""
+
+from .config import KernelConfig, candidate_configs, default_config
+from .library import Spatha
+from .perf_model import SPATHA_COMPUTE_EFFICIENCY, estimate_time, speedup_vs_dense, theoretical_speedup_cap
+from .spmm import spmm, spmm_dense_baseline, spmm_reference
+from .stages import StageBreakdown, compute_stage_breakdown
+from .tiles import TileCounts, compute_tile_counts, condensed_k, iterate_output_tiles, iterate_warp_tiles, simulate_tiled_spmm
+from .tuner import SpathaTuner, TuningRecord
+
+__all__ = [
+    "KernelConfig",
+    "candidate_configs",
+    "default_config",
+    "Spatha",
+    "SPATHA_COMPUTE_EFFICIENCY",
+    "estimate_time",
+    "speedup_vs_dense",
+    "theoretical_speedup_cap",
+    "spmm",
+    "spmm_dense_baseline",
+    "spmm_reference",
+    "StageBreakdown",
+    "compute_stage_breakdown",
+    "TileCounts",
+    "compute_tile_counts",
+    "condensed_k",
+    "iterate_output_tiles",
+    "iterate_warp_tiles",
+    "simulate_tiled_spmm",
+    "SpathaTuner",
+    "TuningRecord",
+]

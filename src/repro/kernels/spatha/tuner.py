@@ -1,0 +1,101 @@
+"""Template auto-tuner for the Spatha kernel.
+
+Because Spatha is template-based, the paper selects the tile configuration
+per problem ("can be tuned depending on the input dynamics, such as GEMM
+size or the V:N:M format configuration").  The tuner enumerates the
+candidate configurations (:func:`repro.kernels.spatha.config.candidate_configs`)
+and ranks them with the performance model — the simulated analogue of an
+on-device exhaustive search.  Results are cached per problem signature so
+sweeps that revisit the same shape (every figure does) pay the search once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .config import KernelConfig, candidate_configs, default_config
+from .perf_model import estimate_time
+from ..common import GemmProblem, KernelResult
+from ...hardware.spec import GPUSpec, rtx3090
+
+
+@dataclass
+class TuningRecord:
+    """Outcome of tuning one problem: the ranked candidate list."""
+
+    problem: GemmProblem
+    results: List[Tuple[KernelConfig, float]] = field(default_factory=list)
+
+    @property
+    def best_config(self) -> KernelConfig:
+        """The fastest configuration found."""
+        if not self.results:
+            raise ValueError("tuning record is empty")
+        return self.results[0][0]
+
+    @property
+    def best_time_us(self) -> float:
+        """Modelled time of the fastest configuration."""
+        if not self.results:
+            raise ValueError("tuning record is empty")
+        return self.results[0][1]
+
+    @property
+    def worst_time_us(self) -> float:
+        """Modelled time of the slowest candidate (tuning headroom)."""
+        if not self.results:
+            raise ValueError("tuning record is empty")
+        return self.results[-1][1]
+
+    @property
+    def tuning_gain(self) -> float:
+        """Worst / best candidate time — how much tuning matters here."""
+        return self.worst_time_us / self.best_time_us
+
+
+class SpathaTuner:
+    """Exhaustive (model-driven) tuner with per-problem caching."""
+
+    def __init__(self, gpu: Optional[GPUSpec] = None) -> None:
+        self.gpu = gpu or rtx3090()
+        self._cache: Dict[Tuple, TuningRecord] = {}
+
+    @staticmethod
+    def _signature(problem: GemmProblem) -> Tuple:
+        return (problem.r, problem.k, problem.c, problem.v, problem.n, problem.m, problem.precision)
+
+    def tune(self, problem: GemmProblem) -> TuningRecord:
+        """Rank every candidate configuration for ``problem``."""
+        if problem.v is None or problem.n is None or problem.m is None:
+            raise ValueError("tuning requires a fully specified V:N:M problem")
+        sig = self._signature(problem)
+        if sig in self._cache:
+            return self._cache[sig]
+        record = TuningRecord(problem=problem)
+        for config in candidate_configs(problem.v, problem.c):
+            try:
+                result = estimate_time(problem, config=config, gpu=self.gpu)
+            except ValueError:
+                continue  # config incompatible with this problem (e.g. R % BSr)
+            record.results.append((config, result.time_us))
+        if not record.results:
+            fallback = default_config(problem.v)
+            result = estimate_time(problem, config=fallback, gpu=self.gpu)
+            record.results.append((fallback, result.time_us))
+        record.results.sort(key=lambda pair: pair[1])
+        self._cache[sig] = record
+        return record
+
+    def best_config(self, problem: GemmProblem) -> KernelConfig:
+        """Shortcut: the fastest configuration for ``problem``."""
+        return self.tune(problem).best_config
+
+    def best_result(self, problem: GemmProblem) -> KernelResult:
+        """The kernel result of the fastest configuration."""
+        record = self.tune(problem)
+        return estimate_time(problem, config=record.best_config, gpu=self.gpu)
+
+    def cache_size(self) -> int:
+        """Number of distinct problems tuned so far."""
+        return len(self._cache)

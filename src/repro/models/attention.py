@@ -1,0 +1,111 @@
+"""Multi-head attention block (Figure 14).
+
+The MHA of a transformer layer contains four weight GEMMs — the Q, K, V and
+output projections — which the paper converts to SpMMs by sparsifying their
+weights, plus two batched matmuls (scores ``QKᵀ`` and context ``PV``) and a
+softmax that stay dense.  This module implements the functional forward
+pass on numpy tensors and reports the per-operator kernel executions the
+latency model aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from .config import ModelConfig
+from .functional import attention_context, attention_scores, merge_heads, softmax, split_heads
+from .layers import DenseLinear, SparseLinear, init_dense_linear
+
+LinearLike = Union[DenseLinear, SparseLinear]
+
+
+@dataclass
+class MultiHeadAttention:
+    """Functional multi-head self-attention with pluggable projections."""
+
+    config: ModelConfig
+    query: LinearLike
+    key: LinearLike
+    value: LinearLike
+    output: LinearLike
+
+    @classmethod
+    def init(cls, config: ModelConfig, seed: int = 0) -> "MultiHeadAttention":
+        """Randomly initialised dense MHA for the given configuration."""
+        h = config.hidden_size
+        return cls(
+            config=config,
+            query=init_dense_linear(h, h, name="attention.query", seed=seed),
+            key=init_dense_linear(h, h, name="attention.key", seed=seed + 1),
+            value=init_dense_linear(h, h, name="attention.value", seed=seed + 2),
+            output=init_dense_linear(h, h, name="attention.output", seed=seed + 3),
+        )
+
+    def projections(self) -> Dict[str, LinearLike]:
+        """The four prunable projections, keyed by their layer names."""
+        return {
+            "attention.query": self.query,
+            "attention.key": self.key,
+            "attention.value": self.value,
+            "attention.output": self.output,
+        }
+
+    def replace_projection(self, name: str, layer: LinearLike) -> None:
+        """Swap one projection (used by the sparsification pass)."""
+        mapping = {
+            "attention.query": "query",
+            "attention.key": "key",
+            "attention.value": "value",
+            "attention.output": "output",
+        }
+        if name not in mapping:
+            raise KeyError(f"unknown projection {name!r}")
+        setattr(self, mapping[name], layer)
+
+    def forward(self, hidden: np.ndarray, return_probs: bool = False):
+        """Self-attention forward pass.
+
+        Parameters
+        ----------
+        hidden:
+            ``(batch, seq, hidden)`` activations.
+        return_probs:
+            Also return the attention probabilities (used by tests).
+        """
+        hidden = np.asarray(hidden, dtype=np.float32)
+        if hidden.ndim != 3 or hidden.shape[-1] != self.config.hidden_size:
+            raise ValueError(
+                f"hidden must have shape (batch, seq, {self.config.hidden_size}), got {hidden.shape}"
+            )
+        q = split_heads(self.query.forward(hidden), self.config.num_heads)
+        k = split_heads(self.key.forward(hidden), self.config.num_heads)
+        v = split_heads(self.value.forward(hidden), self.config.num_heads)
+
+        scores = attention_scores(q, k)
+        probs = softmax(scores, axis=-1)
+        context = merge_heads(attention_context(probs, v))
+        out = self.output.forward(context)
+        if return_probs:
+            return out, probs
+        return out
+
+    # ------------------------------------------------------------------
+    # Latency accounting helpers (used by models.latency)
+    # ------------------------------------------------------------------
+    def weight_gemm_layers(self) -> List[LinearLike]:
+        """The four projections in execution order."""
+        return [self.query, self.key, self.value, self.output]
+
+    def attention_matmul_flops(self, batch_size: int, seq_len: int) -> float:
+        """FLOPs of the two batched attention matmuls (QKᵀ and PV)."""
+        d = self.config.head_dim
+        per_head = 2.0 * seq_len * d * seq_len  # QK^T
+        per_head += 2.0 * seq_len * seq_len * d  # P V
+        return per_head * self.config.num_heads * batch_size
+
+    def softmax_elements(self, batch_size: int, seq_len: int) -> float:
+        """Number of attention-score elements the softmax touches."""
+        return float(batch_size * self.config.num_heads * seq_len * seq_len)

@@ -1,0 +1,80 @@
+"""Numpy implementations of the transformer's non-GEMM operators.
+
+The end-to-end inference substrate needs softmax, GELU, layer normalisation
+and the usual residual/bias plumbing.  These are the operators that appear
+as the "softmax" and "others" bars of the latency breakdown in Figure 15;
+their functional versions here are used by the numerical tests and the
+small-scale examples, while their execution time is modelled separately in
+:mod:`repro.models.latency` (they are bandwidth-bound elementwise kernels).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    x = np.asarray(x, dtype=np.float32)
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """Gaussian Error Linear Unit (tanh approximation, as used by BERT/GPT)."""
+    x = np.asarray(x, dtype=np.float32)
+    return 0.5 * x * (1.0 + np.tanh(np.sqrt(2.0 / np.pi) * (x + 0.044715 * x**3)))
+
+
+def layer_norm(x: np.ndarray, gamma: np.ndarray, beta: np.ndarray, eps: float = 1e-5) -> np.ndarray:
+    """Layer normalisation over the last dimension."""
+    x = np.asarray(x, dtype=np.float32)
+    gamma = np.asarray(gamma, dtype=np.float32)
+    beta = np.asarray(beta, dtype=np.float32)
+    if gamma.shape != (x.shape[-1],) or beta.shape != (x.shape[-1],):
+        raise ValueError("gamma/beta must have shape (hidden,)")
+    mean = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    return gamma * (x - mean) / np.sqrt(var + eps) + beta
+
+
+def dropout_eval(x: np.ndarray) -> np.ndarray:
+    """Dropout in inference mode (identity); kept for API parity."""
+    return np.asarray(x, dtype=np.float32)
+
+
+def attention_scores(q: np.ndarray, k: np.ndarray, scale: float | None = None) -> np.ndarray:
+    """Scaled dot-product attention scores ``Q Kᵀ / sqrt(d)``.
+
+    ``q`` and ``k`` have shape ``(..., seq, head_dim)``.
+    """
+    q = np.asarray(q, dtype=np.float32)
+    k = np.asarray(k, dtype=np.float32)
+    if q.shape[-1] != k.shape[-1]:
+        raise ValueError("q and k must share the head dimension")
+    scale = scale if scale is not None else 1.0 / np.sqrt(q.shape[-1])
+    return np.matmul(q, np.swapaxes(k, -1, -2)) * scale
+
+
+def attention_context(probs: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Attention-weighted value aggregation ``P V``."""
+    probs = np.asarray(probs, dtype=np.float32)
+    v = np.asarray(v, dtype=np.float32)
+    return np.matmul(probs, v)
+
+
+def split_heads(x: np.ndarray, num_heads: int) -> np.ndarray:
+    """Reshape ``(batch, seq, hidden)`` to ``(batch, heads, seq, head_dim)``."""
+    x = np.asarray(x, dtype=np.float32)
+    b, s, h = x.shape
+    if h % num_heads:
+        raise ValueError(f"hidden size {h} not divisible by num_heads {num_heads}")
+    return x.reshape(b, s, num_heads, h // num_heads).transpose(0, 2, 1, 3)
+
+
+def merge_heads(x: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`split_heads`."""
+    x = np.asarray(x, dtype=np.float32)
+    b, n, s, d = x.shape
+    return x.transpose(0, 2, 1, 3).reshape(b, s, n * d)

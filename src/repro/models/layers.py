@@ -1,0 +1,167 @@
+"""Linear-layer abstractions: dense and V:N:M-sparse.
+
+The transformer substrate is built from these two layer types.  Both expose
+the same ``forward`` interface and, crucially for the end-to-end latency
+model, the same ``gemm_problem``/``kernel_result`` interface: the dense
+layer reports a cuBLAS execution, the sparse layer a Spatha SpMM, so the
+per-operator time accounting of Figure 15 is just a sum over layers.
+
+A sparse layer is created *from* a dense layer by pruning its weight with
+one of the algorithms in :mod:`repro.pruning` and compressing it into a
+:class:`~repro.formats.vnm.VNMSparseMatrix` — the same flow the paper's
+STen integration automates (Listing 1), which is wrapped at a higher level
+in :mod:`repro.integration`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..formats.vnm import VNMSparseMatrix
+from ..hardware.spec import GPUSpec, rtx3090
+from ..kernels import cublas
+from ..kernels.common import GemmProblem, KernelResult, reference_matmul_fp16
+from ..kernels.spatha import Spatha
+from ..pruning.masks import apply_mask
+from ..pruning.vnm import vnm_mask
+
+
+@dataclass
+class DenseLinear:
+    """A dense linear layer ``y = x Wᵀ + b``.
+
+    ``weight`` has shape ``(out_features, in_features)`` (the layout the
+    paper sparsifies: the weight is the LHS of the SpMM with the activation
+    matrix as RHS).
+    """
+
+    weight: np.ndarray
+    bias: Optional[np.ndarray] = None
+    name: str = "linear"
+
+    def __post_init__(self) -> None:
+        self.weight = np.asarray(self.weight, dtype=np.float32)
+        if self.weight.ndim != 2:
+            raise ValueError("weight must be 2-D (out_features, in_features)")
+        if self.bias is not None:
+            self.bias = np.asarray(self.bias, dtype=np.float32)
+            if self.bias.shape != (self.weight.shape[0],):
+                raise ValueError("bias must have shape (out_features,)")
+
+    @property
+    def out_features(self) -> int:
+        return self.weight.shape[0]
+
+    @property
+    def in_features(self) -> int:
+        return self.weight.shape[1]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Apply the layer to ``x`` of shape ``(..., in_features)``."""
+        x = np.asarray(x, dtype=np.float32)
+        flat = x.reshape(-1, x.shape[-1])
+        out = reference_matmul_fp16(self.weight, flat.T).T
+        if self.bias is not None:
+            out = out + self.bias
+        return out.reshape(*x.shape[:-1], self.out_features)
+
+    def gemm_problem(self, tokens: int) -> GemmProblem:
+        """The R x K x C GEMM this layer performs on ``tokens`` activations."""
+        return GemmProblem(r=self.out_features, k=self.in_features, c=tokens, name=self.name)
+
+    def kernel_result(self, tokens: int, gpu: Optional[GPUSpec] = None) -> KernelResult:
+        """Modelled cuBLAS execution of this layer's GEMM."""
+        return cublas.estimate_time(self.gemm_problem(tokens), gpu=gpu or rtx3090())
+
+
+@dataclass
+class SparseLinear:
+    """A V:N:M-sparse linear layer executed through Spatha."""
+
+    sparse_weight: VNMSparseMatrix
+    bias: Optional[np.ndarray] = None
+    name: str = "sparse_linear"
+    spatha: Spatha = field(default_factory=Spatha)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.sparse_weight, VNMSparseMatrix):
+            raise TypeError("sparse_weight must be a VNMSparseMatrix")
+        if self.bias is not None:
+            self.bias = np.asarray(self.bias, dtype=np.float32)
+            if self.bias.shape != (self.sparse_weight.shape[0],):
+                raise ValueError("bias must have shape (out_features,)")
+
+    @classmethod
+    def from_dense(
+        cls,
+        dense: DenseLinear,
+        v: int,
+        n: int,
+        m: int,
+        spatha: Optional[Spatha] = None,
+        mask: Optional[np.ndarray] = None,
+    ) -> "SparseLinear":
+        """Prune a dense layer (magnitude V:N:M unless a mask is given) and compress it."""
+        weight = dense.weight.astype(np.float64)
+        if mask is None:
+            mask = vnm_mask(weight, v=v, n=n, m=m)
+        pruned = apply_mask(weight, mask)
+        sparse = VNMSparseMatrix.from_dense(pruned, v=v, n=n, m=m, strict=True)
+        return cls(
+            sparse_weight=sparse,
+            bias=None if dense.bias is None else dense.bias.copy(),
+            name=dense.name,
+            spatha=spatha or Spatha(),
+        )
+
+    @property
+    def out_features(self) -> int:
+        return self.sparse_weight.shape[0]
+
+    @property
+    def in_features(self) -> int:
+        return self.sparse_weight.shape[1]
+
+    @property
+    def sparsity(self) -> float:
+        """Logical sparsity of the weight (1 - N/M)."""
+        return self.sparse_weight.logical_sparsity
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Apply the layer to ``x`` of shape ``(..., in_features)``."""
+        x = np.asarray(x, dtype=np.float32)
+        flat = x.reshape(-1, x.shape[-1])
+        out = self.spatha.spmm(self.sparse_weight, flat.T, bias=self.bias).T
+        return out.reshape(*x.shape[:-1], self.out_features)
+
+    def gemm_problem(self, tokens: int) -> GemmProblem:
+        """The sparse R x K x C problem this layer performs."""
+        w = self.sparse_weight
+        return GemmProblem.from_nm(
+            r=self.out_features, k=self.in_features, c=tokens, n=w.n, m=w.m, v=w.v, name=self.name
+        )
+
+    def kernel_result(self, tokens: int, gpu: Optional[GPUSpec] = None) -> KernelResult:
+        """Modelled Spatha execution of this layer's SpMM."""
+        if gpu is not None and gpu is not self.spatha.gpu:
+            return Spatha(gpu=gpu, autotune=self.spatha.autotune).estimate(self.gemm_problem(tokens))
+        return self.spatha.estimate(self.gemm_problem(tokens))
+
+
+def init_dense_linear(
+    out_features: int,
+    in_features: int,
+    name: str = "linear",
+    seed: int = 0,
+    with_bias: bool = True,
+) -> DenseLinear:
+    """Randomly initialise a dense layer with transformer-like statistics."""
+    if out_features <= 0 or in_features <= 0:
+        raise ValueError("layer dimensions must be positive")
+    rng = np.random.default_rng(seed)
+    weight = rng.normal(0.0, 0.02, size=(out_features, in_features)).astype(np.float32)
+    bias = rng.normal(0.0, 0.01, size=out_features).astype(np.float32) if with_bias else None
+    return DenseLinear(weight=weight, bias=bias, name=name)

@@ -1,0 +1,174 @@
+"""Transformer encoder layer and encoder stack.
+
+The functional substrate for the end-to-end experiments: an encoder layer
+is the standard pre-LLM block (MHA + residual/LayerNorm + FFN +
+residual/LayerNorm), built from the layer abstractions in
+:mod:`repro.models.layers` so any of its six weight matrices can be swapped
+for a V:N:M-sparse version.  The stack exposes iteration over its prunable
+layers — the interface the STen-style sparsification pass in
+:mod:`repro.integration` uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from .attention import LinearLike, MultiHeadAttention
+from .config import ModelConfig
+from .functional import gelu, layer_norm
+from .layers import DenseLinear, SparseLinear, init_dense_linear
+
+
+@dataclass
+class FeedForward:
+    """The transformer FFN: intermediate (expansion) + output projections."""
+
+    intermediate: LinearLike
+    output: LinearLike
+
+    @classmethod
+    def init(cls, config: ModelConfig, seed: int = 0) -> "FeedForward":
+        return cls(
+            intermediate=init_dense_linear(
+                config.intermediate_size, config.hidden_size, name="ffn.intermediate", seed=seed
+            ),
+            output=init_dense_linear(
+                config.hidden_size, config.intermediate_size, name="ffn.output", seed=seed + 1
+            ),
+        )
+
+    def forward(self, hidden: np.ndarray) -> np.ndarray:
+        return self.output.forward(gelu(self.intermediate.forward(hidden)))
+
+    def projections(self) -> Dict[str, LinearLike]:
+        return {"ffn.intermediate": self.intermediate, "ffn.output": self.output}
+
+    def replace_projection(self, name: str, layer: LinearLike) -> None:
+        if name == "ffn.intermediate":
+            self.intermediate = layer
+        elif name == "ffn.output":
+            self.output = layer
+        else:
+            raise KeyError(f"unknown projection {name!r}")
+
+
+@dataclass
+class EncoderLayer:
+    """One transformer encoder block."""
+
+    config: ModelConfig
+    attention: MultiHeadAttention
+    ffn: FeedForward
+    ln1_gamma: np.ndarray
+    ln1_beta: np.ndarray
+    ln2_gamma: np.ndarray
+    ln2_beta: np.ndarray
+    index: int = 0
+
+    @classmethod
+    def init(cls, config: ModelConfig, index: int = 0, seed: int = 0) -> "EncoderLayer":
+        h = config.hidden_size
+        base = seed + index * 101
+        return cls(
+            config=config,
+            attention=MultiHeadAttention.init(config, seed=base),
+            ffn=FeedForward.init(config, seed=base + 10),
+            ln1_gamma=np.ones(h, dtype=np.float32),
+            ln1_beta=np.zeros(h, dtype=np.float32),
+            ln2_gamma=np.ones(h, dtype=np.float32),
+            ln2_beta=np.zeros(h, dtype=np.float32),
+            index=index,
+        )
+
+    def forward(self, hidden: np.ndarray) -> np.ndarray:
+        """Post-LN encoder block forward pass (BERT convention)."""
+        attn_out = self.attention.forward(hidden)
+        hidden = layer_norm(hidden + attn_out, self.ln1_gamma, self.ln1_beta)
+        ffn_out = self.ffn.forward(hidden)
+        return layer_norm(hidden + ffn_out, self.ln2_gamma, self.ln2_beta)
+
+    def named_linear_layers(self) -> Dict[str, LinearLike]:
+        """All six prunable linear layers of this block, keyed by name."""
+        layers: Dict[str, LinearLike] = {}
+        layers.update(self.attention.projections())
+        layers.update(self.ffn.projections())
+        return layers
+
+    def replace_linear(self, name: str, layer: LinearLike) -> None:
+        """Swap one of the six linear layers by name."""
+        if name.startswith("attention."):
+            self.attention.replace_projection(name, layer)
+        elif name.startswith("ffn."):
+            self.ffn.replace_projection(name, layer)
+        else:
+            raise KeyError(f"unknown linear layer {name!r}")
+
+    def sparsity_summary(self) -> Dict[str, float]:
+        """Sparsity of every linear layer (0.0 for dense ones)."""
+        out = {}
+        for name, layer in self.named_linear_layers().items():
+            out[name] = layer.sparsity if isinstance(layer, SparseLinear) else 0.0
+        return out
+
+
+@dataclass
+class TransformerEncoder:
+    """A stack of encoder layers (the model the end-to-end study times)."""
+
+    config: ModelConfig
+    layers: List[EncoderLayer] = field(default_factory=list)
+
+    @classmethod
+    def init(cls, config: ModelConfig, num_layers: Optional[int] = None, seed: int = 0) -> "TransformerEncoder":
+        """Initialise a stack of ``num_layers`` (default: config.num_layers) blocks.
+
+        The end-to-end GPT-3 experiment of the paper only instantiates a
+        single encoder layer to fit on one GPU; ``num_layers`` exposes the
+        same control.
+        """
+        n = num_layers if num_layers is not None else config.num_layers
+        if n <= 0:
+            raise ValueError("num_layers must be positive")
+        return cls(config=config, layers=[EncoderLayer.init(config, index=i, seed=seed) for i in range(n)])
+
+    def forward(self, hidden: np.ndarray) -> np.ndarray:
+        """Run the full stack on ``(batch, seq, hidden)`` activations."""
+        for layer in self.layers:
+            hidden = layer.forward(hidden)
+        return hidden
+
+    def named_linear_layers(self) -> Iterator[Tuple[str, LinearLike]]:
+        """Iterate over ``(qualified_name, layer)`` of every prunable layer."""
+        for layer in self.layers:
+            for name, lin in layer.named_linear_layers().items():
+                yield f"encoder.layer.{layer.index}.{name}", lin
+
+    def replace_linear(self, qualified_name: str, new_layer: LinearLike) -> None:
+        """Replace a layer addressed by its qualified name."""
+        parts = qualified_name.split(".")
+        if len(parts) < 4 or parts[0] != "encoder" or parts[1] != "layer":
+            raise KeyError(f"unrecognised layer name {qualified_name!r}")
+        idx = int(parts[2])
+        if not 0 <= idx < len(self.layers):
+            raise KeyError(f"layer index {idx} out of range")
+        self.layers[idx].replace_linear(".".join(parts[3:]), new_layer)
+
+    def apply_to_linears(self, fn: Callable[[str, LinearLike], Optional[LinearLike]]) -> int:
+        """Apply ``fn`` to every prunable layer; replace it when fn returns a layer.
+
+        Returns the number of layers replaced.
+        """
+        replaced = 0
+        for name, lin in list(self.named_linear_layers()):
+            new = fn(name, lin)
+            if new is not None and new is not lin:
+                self.replace_linear(name, new)
+                replaced += 1
+        return replaced
+
+    def count_sparse_layers(self) -> int:
+        """Number of layers currently running through Spatha."""
+        return sum(1 for _, lin in self.named_linear_layers() if isinstance(lin, SparseLinear))

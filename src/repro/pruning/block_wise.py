@@ -1,0 +1,59 @@
+"""Block-wise (2-D tile) pruning.
+
+Block-wise pruning (Figure 2, scheme 1) removes whole ``v x v`` square
+blocks of weights.  It maximises data reuse in caches/registers during the
+subsequent SpMM, but the paper points out it is "overly aggressive" —
+removing 2-D groups hurts accuracy quickly as sparsity grows, which is what
+motivates the intermediate V:N:M design.  It is included as a substrate for
+the Blocked-ELL format and for the accuracy/energy comparisons.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .masks import PruningResult, apply_mask, validate_weight_matrix
+
+
+def block_scores(weights: np.ndarray, block: int, norm: str = "l1") -> np.ndarray:
+    """Saliency of every ``block x block`` tile.
+
+    Returns an array of shape ``(rows // block, cols // block)``.
+    """
+    w = validate_weight_matrix(weights)
+    rows, cols = w.shape
+    if block <= 0:
+        raise ValueError("block size must be positive")
+    if rows % block or cols % block:
+        raise ValueError(f"matrix shape {w.shape} must be divisible by the block size {block}")
+    tiles = w.reshape(rows // block, block, cols // block, block)
+    if norm == "l1":
+        return np.abs(tiles).sum(axis=(1, 3))
+    if norm == "l2":
+        return np.sqrt((tiles**2).sum(axis=(1, 3)))
+    raise ValueError(f"unknown norm {norm!r}; use 'l1' or 'l2'")
+
+
+def block_wise_mask(weights: np.ndarray, sparsity: float, block: int = 16, norm: str = "l1") -> np.ndarray:
+    """Keep-mask of block-wise pruning at ``sparsity`` with ``block x block`` tiles."""
+    w = validate_weight_matrix(weights)
+    if not 0.0 <= sparsity <= 1.0:
+        raise ValueError(f"sparsity must be in [0, 1], got {sparsity}")
+    scores = block_scores(w, block, norm)
+    n_blocks = scores.size
+    n_prune = int(round(sparsity * n_blocks))
+    blk_mask = np.ones(n_blocks, dtype=bool)
+    if n_prune >= n_blocks:
+        blk_mask[:] = False
+    elif n_prune > 0:
+        prune_idx = np.argpartition(scores.ravel(), n_prune - 1)[:n_prune]
+        blk_mask[prune_idx] = False
+    blk_mask = blk_mask.reshape(scores.shape)
+    mask = np.repeat(np.repeat(blk_mask, block, axis=0), block, axis=1)
+    return mask
+
+
+def block_wise_prune(weights: np.ndarray, sparsity: float, block: int = 16, norm: str = "l1") -> PruningResult:
+    """Apply block-wise pruning and return the result."""
+    mask = block_wise_mask(weights, sparsity, block=block, norm=norm)
+    return PruningResult(mask=mask, pruned_weights=apply_mask(weights, mask), target_sparsity=sparsity)

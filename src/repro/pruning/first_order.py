@@ -1,0 +1,162 @@
+"""First-order (gradient-based) pruning criteria.
+
+The paper's background (Section 2.1) splits gradient-based saliency into
+first-order methods — movement pruning (Sanh et al.) and PLATON-style
+importance scores built from the weight-gradient product — and the
+second-order family it extends.  The reproduction includes the first-order
+criteria so the pruning subpackage covers the whole taxonomy the paper
+discusses and so the V:N:M mask search can be driven by any of them (the
+structured stages only need a per-weight saliency score).
+
+All functions accept per-sample gradients of the layer (the same input the
+second-order pruner uses) and return either a saliency map or a keep mask.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .magnitude import magnitude_mask
+from .masks import PruningResult, apply_mask, validate_weight_matrix
+from .nm import nm_mask
+from .vnm import vnm_mask
+
+
+def _mean_gradient(grads: np.ndarray, shape: tuple) -> np.ndarray:
+    """Validate per-sample gradients and return their mean, layer-shaped."""
+    g = np.asarray(grads, dtype=np.float64)
+    rows, cols = shape
+    if g.ndim != 2 or g.shape[1] != rows * cols:
+        raise ValueError(f"grads must have shape (samples, {rows * cols}), got {g.shape}")
+    if g.shape[0] == 0:
+        raise ValueError("at least one gradient sample is required")
+    return g.mean(axis=0).reshape(rows, cols)
+
+
+def movement_scores(weights: np.ndarray, grads: np.ndarray) -> np.ndarray:
+    """Movement-pruning importance ``S = -w * dL/dw``.
+
+    A weight moving away from zero under gradient descent (negative
+    ``w * grad``) is considered important; weights being pushed toward zero
+    get low scores.  Higher score = keep.
+    """
+    w = validate_weight_matrix(weights)
+    mean_grad = _mean_gradient(grads, w.shape)
+    return -w * mean_grad
+
+
+def platon_scores(
+    weights: np.ndarray,
+    grads: np.ndarray,
+    uncertainty_weight: float = 1.0,
+) -> np.ndarray:
+    """PLATON-style importance: |w * grad| plus an uncertainty bonus.
+
+    PLATON combines the magnitude of the first-order Taylor term with the
+    *variability* of that term across batches (upper confidence bound) so
+    that weights whose importance is noisy are not pruned prematurely.
+    """
+    w = validate_weight_matrix(weights)
+    g = np.asarray(grads, dtype=np.float64)
+    rows, cols = w.shape
+    if g.ndim != 2 or g.shape[1] != rows * cols:
+        raise ValueError(f"grads must have shape (samples, {rows * cols}), got {g.shape}")
+    if g.shape[0] == 0:
+        raise ValueError("at least one gradient sample is required")
+    if uncertainty_weight < 0:
+        raise ValueError("uncertainty_weight must be non-negative")
+    taylor = np.abs(w.ravel()[None, :] * g)  # (samples, d)
+    mean_importance = taylor.mean(axis=0)
+    uncertainty = taylor.std(axis=0)
+    return (mean_importance + uncertainty_weight * uncertainty).reshape(rows, cols)
+
+
+def first_order_mask(
+    weights: np.ndarray,
+    grads: np.ndarray,
+    sparsity: float,
+    criterion: str = "movement",
+) -> np.ndarray:
+    """Unstructured keep-mask from a first-order criterion.
+
+    ``criterion`` is ``"movement"`` or ``"platon"``.  The lowest-scoring
+    ``sparsity`` fraction of weights is pruned.
+    """
+    if criterion == "movement":
+        scores = movement_scores(weights, grads)
+    elif criterion == "platon":
+        scores = platon_scores(weights, grads)
+    else:
+        raise ValueError(f"unknown first-order criterion {criterion!r}")
+    # Reuse the magnitude machinery on the (shifted) score map: keeping the
+    # largest scores is magnitude pruning on scores offset to be positive.
+    shifted = scores - scores.min() + 1e-12
+    return magnitude_mask(shifted, sparsity)
+
+
+def first_order_nm_mask(
+    weights: np.ndarray,
+    grads: np.ndarray,
+    n: int = 2,
+    m: int = 4,
+    criterion: str = "movement",
+) -> np.ndarray:
+    """Row-wise N:M mask selected by a first-order criterion."""
+    if criterion == "movement":
+        scores = movement_scores(weights, grads)
+    elif criterion == "platon":
+        scores = platon_scores(weights, grads)
+    else:
+        raise ValueError(f"unknown first-order criterion {criterion!r}")
+    shifted = scores - scores.min() + 1e-12
+    return nm_mask(shifted, n=n, m=m)
+
+
+def first_order_vnm_mask(
+    weights: np.ndarray,
+    grads: np.ndarray,
+    v: int,
+    n: int = 2,
+    m: int = 8,
+    criterion: str = "platon",
+) -> np.ndarray:
+    """V:N:M mask whose column selection and N:4 stage use first-order scores."""
+    if criterion == "movement":
+        scores = movement_scores(weights, grads)
+    elif criterion == "platon":
+        scores = platon_scores(weights, grads)
+    else:
+        raise ValueError(f"unknown first-order criterion {criterion!r}")
+    shifted = scores - scores.min() + 1e-12
+    return vnm_mask(shifted, v=v, n=n, m=m)
+
+
+def first_order_prune(
+    weights: np.ndarray,
+    grads: np.ndarray,
+    sparsity: Optional[float] = None,
+    v: Optional[int] = None,
+    n: Optional[int] = None,
+    m: Optional[int] = None,
+    criterion: str = "movement",
+) -> PruningResult:
+    """Convenience wrapper: unstructured, N:M or V:N:M first-order pruning.
+
+    Exactly one of ``sparsity`` (unstructured) or ``(n, m)`` (structured,
+    optionally with ``v``) must be provided.
+    """
+    structured = n is not None and m is not None
+    if structured == (sparsity is not None):
+        raise ValueError("provide either sparsity (unstructured) or n and m (structured)")
+    if structured:
+        if v is None or v == 1:
+            mask = first_order_nm_mask(weights, grads, n=n, m=m, criterion=criterion)
+        else:
+            mask = first_order_vnm_mask(weights, grads, v=v, n=n, m=m, criterion=criterion)
+        target = 1.0 - n / m
+    else:
+        mask = first_order_mask(weights, grads, sparsity, criterion=criterion)
+        target = sparsity
+    return PruningResult(mask=mask, pruned_weights=apply_mask(weights, mask), target_sparsity=target)

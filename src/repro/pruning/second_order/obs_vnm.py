@@ -1,0 +1,209 @@
+"""Second-order pruning tailored to the V:N:M format (Section 6.1).
+
+The full problem — choose, for every ``V x M`` block, the four columns to
+keep *and* the N:4 pattern of every row inside them so that the total
+second-order loss increase is minimal — is combinatorially intractable at
+LLM scale.  The paper adopts the same simplification as the Optimal BERT
+Surgeon: correlations between different rows of a block are ignored, so the
+problem decomposes into
+
+1. a column-selection step per ``V x M`` block, scored by the sum over the
+   block's rows of the (row-local) saliency of the columns, and
+2. an independent N:4 (or N:M for ``V = 1``) selection per row-group,
+   solved either exactly (m-combinatorial) or with the pair-wise relaxation
+   (:mod:`repro.pruning.second_order.saliency`), optionally followed by the
+   OBS weight update of the surviving weights.
+
+This module implements both the V:N:M variant and the plain 1:N:M variant
+on top of a :class:`~repro.pruning.second_order.fisher.BlockFisher`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..masks import PruningResult, validate_weight_matrix
+from ...formats.vnm import SELECTED_COLUMNS, validate_vnm_shape
+from .fisher import BlockFisher, estimate_block_fisher, synthetic_gradients
+from .saliency import solve_group
+
+
+@dataclass
+class SecondOrderConfig:
+    """Configuration of the second-order pruner.
+
+    Attributes
+    ----------
+    method:
+        ``"combinatorial"``, ``"pairwise"`` or ``"auto"`` (paper default:
+        pick exact enumeration for small M, pair-wise otherwise).
+    combinatorial_limit:
+        Largest group size the auto policy still solves exactly.
+    apply_update:
+        Whether to apply the OBS compensation update to surviving weights.
+    fisher_block_size:
+        Block size of the block-diagonal Fisher.  ``None`` chooses the
+        group size (M) so each N:M group owns exactly one Fisher block.
+    damp:
+        Fisher dampening.
+    num_grad_samples:
+        Number of synthetic gradient samples when no gradients are given.
+    seed:
+        Seed for the synthetic gradient generator.
+    """
+
+    method: str = "auto"
+    combinatorial_limit: int = 12
+    apply_update: bool = True
+    fisher_block_size: Optional[int] = None
+    damp: float = 1e-4
+    num_grad_samples: int = 64
+    seed: int = 0
+
+
+def _resolve_fisher(
+    weights: np.ndarray,
+    m: int,
+    config: SecondOrderConfig,
+    grads: Optional[np.ndarray],
+    fisher: Optional[BlockFisher],
+) -> BlockFisher:
+    """Build (or validate) the block Fisher used by the pruner."""
+    rows, cols = weights.shape
+    block_size = config.fisher_block_size or m
+    if cols % block_size != 0:
+        raise ValueError(f"fisher block size ({block_size}) must divide cols ({cols})")
+    if block_size % m != 0:
+        raise ValueError(
+            f"fisher block size ({block_size}) must be a multiple of M ({m}) "
+            "so every N:M group lies inside a single Fisher block"
+        )
+    if fisher is not None:
+        if fisher.shape != weights.shape:
+            raise ValueError("provided fisher has a different shape than the weights")
+        return fisher
+    if grads is None:
+        grads = synthetic_gradients(
+            weights, num_samples=config.num_grad_samples, seed=config.seed
+        )
+    return estimate_block_fisher(grads, weights.shape, block_size=block_size, damp=config.damp)
+
+
+def second_order_nm_prune(
+    weights: np.ndarray,
+    n: int = 2,
+    m: int = 4,
+    config: Optional[SecondOrderConfig] = None,
+    grads: Optional[np.ndarray] = None,
+    fisher: Optional[BlockFisher] = None,
+) -> PruningResult:
+    """Plain 1:N:M second-order pruning (no vector-wise stage).
+
+    Every row-wise group of ``m`` weights is solved independently with the
+    configured solver.  With ``config.apply_update`` the OBS compensation
+    is applied to the surviving weights of each group.
+    """
+    w = validate_weight_matrix(weights)
+    rows, cols = w.shape
+    if n <= 0 or m <= 0 or n > m:
+        raise ValueError(f"invalid N:M pattern {n}:{m}")
+    if cols % m != 0:
+        raise ValueError(f"cols ({cols}) must be divisible by M ({m})")
+    config = config or SecondOrderConfig()
+    fisher = _resolve_fisher(w, m, config, grads, fisher)
+
+    mask = np.ones((rows, cols), dtype=bool)
+    new_w = w.copy()
+    groups = cols // m
+    bs = fisher.block_size
+    for r in range(rows):
+        for g in range(groups):
+            c0 = g * m
+            block_idx = fisher.block_of_weight(r, c0)
+            base = (r * cols + c0) % bs
+            local = np.arange(base, base + m)
+            f_inv = fisher.inverse_submatrix(block_idx, local)
+            decision = solve_group(
+                w[r, c0 : c0 + m],
+                f_inv,
+                keep=n,
+                method=config.method,
+                combinatorial_limit=config.combinatorial_limit,
+            )
+            pruned_cols = np.asarray(decision.pruned_local, dtype=np.int64) + c0
+            mask[r, pruned_cols] = False
+            if config.apply_update:
+                new_w[r, c0 : c0 + m] = w[r, c0 : c0 + m] + decision.weight_update
+            else:
+                new_w[r, pruned_cols] = 0.0
+    new_w[~mask] = 0.0
+    return PruningResult(mask=mask, pruned_weights=new_w, target_sparsity=1.0 - n / m)
+
+
+def second_order_vnm_prune(
+    weights: np.ndarray,
+    v: int,
+    n: int = 2,
+    m: int = 8,
+    config: Optional[SecondOrderConfig] = None,
+    grads: Optional[np.ndarray] = None,
+    fisher: Optional[BlockFisher] = None,
+) -> PruningResult:
+    """V:N:M second-order pruning (Section 6.1).
+
+    Column selection per ``V x M`` block uses the sum over the block's rows
+    of the OBD-style per-weight saliency ``½ w² / (F̂⁻¹)_ii`` aggregated per
+    column; the inner N:4 problem of every row is then solved with the
+    configured group solver restricted to the four selected columns.
+    ``v = 1`` falls back to :func:`second_order_nm_prune`.
+    """
+    if v == 1:
+        return second_order_nm_prune(weights, n=n, m=m, config=config, grads=grads, fisher=fisher)
+
+    w = validate_weight_matrix(weights)
+    rows, cols = w.shape
+    validate_vnm_shape(rows, cols, v, n, m)
+    config = config or SecondOrderConfig()
+    fisher = _resolve_fisher(w, m, config, grads, fisher)
+
+    inv_diag = fisher.diagonal()  # (rows, cols) diagonal of F^-1
+    obd_saliency = 0.5 * w**2 / np.clip(inv_diag, 1e-18, None)
+
+    row_blocks, groups = rows // v, cols // m
+    mask = np.zeros((rows, cols), dtype=bool)
+    new_w = w.copy()
+
+    # Vector-wise stage: per (row-block, group) keep the 4 columns whose
+    # summed saliency (over the V rows) is largest.
+    sal_blocks = obd_saliency.reshape(row_blocks, v, groups, m).sum(axis=1)  # (R/V, K/M, M)
+    col_order = np.argsort(-sal_blocks, axis=2, kind="stable")[:, :, :SELECTED_COLUMNS]
+    col_order = np.sort(col_order, axis=2)
+
+    bs = fisher.block_size
+    for rb in range(row_blocks):
+        for g in range(groups):
+            cols_sel = col_order[rb, g]  # 4 in-block column indices
+            abs_cols = cols_sel + g * m
+            for r_local in range(v):
+                r = rb * v + r_local
+                c0 = g * m
+                block_idx = fisher.block_of_weight(r, c0)
+                base = (r * cols + c0) % bs
+                local = base + cols_sel
+                f_inv = fisher.inverse_submatrix(block_idx, local)
+                decision = solve_group(
+                    w[r, abs_cols],
+                    f_inv,
+                    keep=n,
+                    method=config.method,
+                    combinatorial_limit=config.combinatorial_limit,
+                )
+                kept_local = sorted(set(range(SELECTED_COLUMNS)) - set(decision.pruned_local))
+                mask[r, abs_cols[kept_local]] = True
+                if config.apply_update:
+                    new_w[r, abs_cols] = w[r, abs_cols] + decision.weight_update
+    new_w[~mask] = 0.0
+    return PruningResult(mask=mask, pruned_weights=new_w, target_sparsity=1.0 - n / m)

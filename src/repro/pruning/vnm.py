@@ -1,0 +1,104 @@
+"""V:N:M magnitude pruning (Figure 2, scheme 4).
+
+The V:N:M pruning procedure combines block-wise partitioning, vector-wise
+column selection and row-wise N:M pruning:
+
+1. partition the matrix into blocks of ``V x M`` elements;
+2. in each block, keep the four columns with the largest saliency
+   (vector-wise stage) — the remaining ``M - 4`` columns are fully pruned;
+3. in each row of the four surviving columns, keep the ``N`` largest
+   magnitudes (N:4 stage).
+
+The result is a mask that simultaneously realises an arbitrary N:M sparsity
+ratio *and* maps onto the hardware's 2:4 support, which is the format-level
+contribution of the paper.  The functions here implement the magnitude
+variant; the second-order variant (Section 6) lives in
+:mod:`repro.pruning.second_order`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .masks import PruningResult, apply_mask, validate_weight_matrix
+from ..formats.vnm import SELECTED_COLUMNS, validate_vnm_shape
+
+
+def select_block_columns(weights: np.ndarray, v: int, m: int, norm: str = "l1") -> np.ndarray:
+    """Columns kept by the vector-wise stage for every ``V x M`` block.
+
+    Returns an int64 array of shape ``(R/V, K/M, 4)`` with the in-block
+    indices (ascending) of the four columns with the largest saliency.
+    """
+    w = validate_weight_matrix(weights)
+    rows, cols = w.shape
+    validate_vnm_shape(rows, cols, v, 1, m)
+    blocks = w.reshape(rows // v, v, cols // m, m)
+    if norm == "l1":
+        mass = np.abs(blocks).sum(axis=1)
+    elif norm == "l2":
+        mass = np.sqrt((blocks**2).sum(axis=1))
+    else:
+        raise ValueError(f"unknown norm {norm!r}; use 'l1' or 'l2'")
+    order = np.argsort(-mass, axis=2, kind="stable")[:, :, :SELECTED_COLUMNS]
+    return np.sort(order, axis=2).astype(np.int64)
+
+
+def vnm_mask(weights: np.ndarray, v: int, n: int = 2, m: int = 8, norm: str = "l1") -> np.ndarray:
+    """Keep-mask of V:N:M magnitude pruning.
+
+    Exactly ``n`` weights survive per row per ``m``-column group, and the
+    survivors of each ``V x M`` block are confined to four columns.
+    """
+    w = validate_weight_matrix(weights)
+    rows, cols = w.shape
+    validate_vnm_shape(rows, cols, v, n, m)
+    row_blocks, groups = rows // v, cols // m
+    blocks = w.reshape(row_blocks, v, groups, m)
+
+    col_sel = select_block_columns(w, v, m, norm)  # (R/V, K/M, 4)
+    gather_idx = np.broadcast_to(col_sel[:, None, :, :], (row_blocks, v, groups, SELECTED_COLUMNS))
+    selected = np.take_along_axis(blocks, gather_idx, axis=3)
+
+    pos_order = np.argsort(-np.abs(selected), axis=3, kind="stable")[:, :, :, :n]
+    keep_sel = np.zeros((row_blocks, v, groups, SELECTED_COLUMNS), dtype=bool)
+    np.put_along_axis(keep_sel, pos_order, True, axis=3)
+
+    mask_blocks = np.zeros((row_blocks, v, groups, m), dtype=bool)
+    np.put_along_axis(mask_blocks, gather_idx, keep_sel, axis=3)
+    return mask_blocks.reshape(rows, cols)
+
+
+def vnm_prune(weights: np.ndarray, v: int, n: int = 2, m: int = 8, norm: str = "l1") -> PruningResult:
+    """Apply V:N:M magnitude pruning and return the result."""
+    mask = vnm_mask(weights, v=v, n=n, m=m, norm=norm)
+    return PruningResult(
+        mask=mask,
+        pruned_weights=apply_mask(weights, mask),
+        target_sparsity=1.0 - n / m,
+    )
+
+
+def vnm_sparsity(n: int, m: int) -> float:
+    """Logical sparsity of an N:M pattern (independent of V)."""
+    if n <= 0 or m <= 0 or n > m:
+        raise ValueError(f"invalid N:M pattern {n}:{m}")
+    return 1.0 - n / m
+
+
+def pad_to_vnm_shape(weights: np.ndarray, v: int, m: int) -> tuple[np.ndarray, tuple[int, int]]:
+    """Zero-pad a matrix so its shape is divisible by (V, M).
+
+    Real model layers do not always have dimensions divisible by the block
+    shape (e.g. GPT-2's 1600-wide layers with M=48).  Returns the padded
+    matrix and the original shape so callers can crop results back.
+    """
+    w = validate_weight_matrix(weights)
+    rows, cols = w.shape
+    pad_r = (-rows) % v
+    pad_c = (-cols) % m
+    if pad_r == 0 and pad_c == 0:
+        return w, (rows, cols)
+    padded = np.zeros((rows + pad_r, cols + pad_c), dtype=w.dtype)
+    padded[:rows, :cols] = w
+    return padded, (rows, cols)

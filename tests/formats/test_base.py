@@ -1,0 +1,100 @@
+"""Tests for the shared sparse-format infrastructure."""
+
+import numpy as np
+import pytest
+
+from repro.formats.base import (
+    FormatFootprint,
+    as_float_matrix,
+    density_of,
+    quantize_fp16,
+    sparsity_of,
+)
+from repro.formats.nm import NMSparseMatrix
+
+
+class TestAsFloatMatrix:
+    def test_converts_to_float32_contiguous(self):
+        out = as_float_matrix([[1, 2], [3, 4]])
+        assert out.dtype == np.float32
+        assert out.flags["C_CONTIGUOUS"]
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            as_float_matrix(np.zeros(4))
+        with pytest.raises(ValueError):
+            as_float_matrix(np.zeros((2, 2, 2)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            as_float_matrix(np.zeros((0, 4)))
+
+    def test_rejects_complex(self):
+        with pytest.raises(TypeError):
+            as_float_matrix(np.zeros((2, 2), dtype=complex))
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(TypeError):
+            as_float_matrix(np.array([["a", "b"], ["c", "d"]]))
+
+
+class TestQuantizeFp16:
+    def test_idempotent(self):
+        x = np.random.default_rng(0).normal(size=(8, 8)).astype(np.float32)
+        once = quantize_fp16(x)
+        assert np.array_equal(once, quantize_fp16(once))
+
+    def test_returns_float32(self):
+        assert quantize_fp16(np.ones((2, 2))).dtype == np.float32
+
+    def test_rounds_to_half_precision(self):
+        # 1 + 2^-12 is not representable in fp16 (10 mantissa bits).
+        x = np.array([[1.0 + 2.0**-12]])
+        assert quantize_fp16(x)[0, 0] == pytest.approx(1.0)
+
+
+class TestSparsityDensity:
+    def test_sparsity_of_half_zero_matrix(self):
+        m = np.array([[0.0, 1.0], [2.0, 0.0]])
+        assert sparsity_of(m) == pytest.approx(0.5)
+        assert density_of(m) == pytest.approx(0.5)
+
+    def test_tolerance(self):
+        m = np.array([[1e-9, 1.0]])
+        assert sparsity_of(m, tol=1e-6) == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sparsity_of(np.zeros((0,)))
+
+
+class TestFormatFootprint:
+    def test_total(self):
+        f = FormatFootprint(values_bytes=10, metadata_bytes=2, index_bytes=3)
+        assert f.total_bytes == 15
+
+    def test_compression_ratio(self):
+        f = FormatFootprint(values_bytes=10, metadata_bytes=0, index_bytes=0)
+        assert f.compression_ratio(40) == pytest.approx(4.0)
+
+    def test_zero_footprint_rejected(self):
+        with pytest.raises(ValueError):
+            FormatFootprint(0, 0, 0).compression_ratio(10)
+
+
+class TestSparseFormatInterface:
+    def test_shared_properties(self, nm_matrix, dense_24):
+        assert nm_matrix.rows == dense_24.shape[0]
+        assert nm_matrix.cols == dense_24.shape[1]
+        assert nm_matrix.density == pytest.approx(0.5)
+        assert nm_matrix.sparsity == pytest.approx(0.5)
+
+    def test_compression_ratio_better_than_one(self, nm_matrix):
+        assert nm_matrix.compression_ratio("fp16") > 1.0
+
+    def test_allclose_to(self, nm_matrix, dense_24):
+        assert nm_matrix.allclose_to(dense_24)
+        assert not nm_matrix.allclose_to(dense_24 + 1.0)
+
+    def test_dense_bytes(self, nm_matrix, dense_24):
+        assert nm_matrix.dense_bytes("fp16") == dense_24.size * 2

@@ -1,0 +1,95 @@
+"""Tests for the column-vector sparse encoding (CLASP / vectorSparse substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.formats.cvse import CVSEMatrix
+from repro.pruning.masks import apply_mask
+from repro.pruning.vector_wise import vector_wise_mask
+
+
+@pytest.fixture
+def vw_pruned(rng):
+    w = rng.normal(size=(32, 24))
+    return apply_mask(w, vector_wise_mask(w, 0.75, l=8)).astype(np.float32)
+
+
+class TestConstruction:
+    def test_roundtrip(self, vw_pruned):
+        cvse = CVSEMatrix.from_dense(vw_pruned, l=8)
+        assert np.array_equal(cvse.to_dense(), vw_pruned)
+
+    def test_vector_shape(self, vw_pruned):
+        cvse = CVSEMatrix.from_dense(vw_pruned, l=8)
+        assert cvse.data.shape[1] == 8
+        assert cvse.l == 8
+
+    def test_number_of_vectors_matches_pruning(self, vw_pruned):
+        cvse = CVSEMatrix.from_dense(vw_pruned, l=8)
+        kept_vectors = (np.abs(vw_pruned).reshape(4, 8, 24).max(axis=1) > 0).sum()
+        assert cvse.num_vectors == kept_vectors
+
+    def test_stores_intra_vector_zeros(self, rng):
+        # A vector with a single non-zero is stored in full (l elements).
+        dense = np.zeros((8, 4), dtype=np.float32)
+        dense[3, 1] = 2.0
+        cvse = CVSEMatrix.from_dense(dense, l=8)
+        assert cvse.num_vectors == 1
+        assert cvse.nnz == 8
+
+    def test_rows_not_divisible_raises(self):
+        with pytest.raises(ValueError):
+            CVSEMatrix.from_dense(np.zeros((10, 4)), l=8)
+
+    def test_invalid_vector_length(self):
+        with pytest.raises(ValueError):
+            CVSEMatrix.from_dense(np.zeros((8, 4)), l=0)
+
+    def test_pointer_validation(self):
+        with pytest.raises(ValueError):
+            CVSEMatrix(
+                data=np.zeros((1, 4)),
+                vector_cols=np.array([0]),
+                vector_ptr=np.array([0, 2]),  # claims 2 vectors but only 1 stored
+                l=4,
+                nrows=4,
+                ncols_total=4,
+            )
+
+    def test_column_range_validation(self):
+        with pytest.raises(ValueError):
+            CVSEMatrix(
+                data=np.zeros((1, 4)),
+                vector_cols=np.array([9]),
+                vector_ptr=np.array([0, 1]),
+                l=4,
+                nrows=4,
+                ncols_total=4,
+            )
+
+
+class TestStatistics:
+    def test_vectors_per_block(self, vw_pruned):
+        cvse = CVSEMatrix.from_dense(vw_pruned, l=8)
+        counts = cvse.vectors_per_block()
+        assert counts.sum() == cvse.num_vectors
+        assert counts.shape == (4,)
+
+    def test_load_imbalance_at_least_one(self, vw_pruned):
+        assert CVSEMatrix.from_dense(vw_pruned, l=8).load_imbalance() >= 1.0
+
+    def test_effective_density(self, vw_pruned):
+        cvse = CVSEMatrix.from_dense(vw_pruned, l=8)
+        assert cvse.effective_density() == pytest.approx(cvse.nnz / vw_pruned.size)
+
+    def test_footprint(self, vw_pruned):
+        cvse = CVSEMatrix.from_dense(vw_pruned, l=8)
+        fp = cvse.footprint("fp16")
+        assert fp.values_bytes == cvse.nnz * 2
+        # One 4-byte column index per vector (plus pointers), far fewer than CSR's per-nnz indices.
+        assert fp.index_bytes == cvse.num_vectors * 4 + cvse.vector_ptr.size * 4
+
+    def test_empty_matrix(self):
+        cvse = CVSEMatrix.from_dense(np.zeros((8, 4), dtype=np.float32), l=4)
+        assert cvse.num_vectors == 0
+        assert np.array_equal(cvse.to_dense(), np.zeros((8, 4)))

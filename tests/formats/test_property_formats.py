@@ -1,0 +1,99 @@
+"""Property-based tests (hypothesis) for the compression formats.
+
+These check the fundamental invariants the rest of the system relies on:
+compression followed by decompression is the identity on compliant
+matrices, metadata packing is a bijection, and every format's footprint
+accounting is consistent with its stored structures.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.formats.csr import CSRMatrix
+from repro.formats.cvse import CVSEMatrix
+from repro.formats.metadata import pack_indices, unpack_indices
+from repro.formats.nm import NMSparseMatrix, check_nm_pattern
+from repro.formats.vnm import VNMSparseMatrix, check_vnm_pattern
+from repro.pruning.masks import apply_mask
+from repro.pruning.nm import nm_mask
+from repro.pruning.vector_wise import vector_wise_mask
+from repro.pruning.vnm import vnm_mask
+
+
+def dense_matrices(max_rows=8, max_row_blocks=4, col_groups=st.integers(1, 4)):
+    """Strategy producing small dense float matrices with controlled shapes."""
+    return st.tuples(st.integers(1, max_rows), col_groups).flatmap(
+        lambda dims: hnp.arrays(
+            dtype=np.float32,
+            shape=(dims[0] * 4, dims[1] * 8),
+            elements=st.floats(-10, 10, allow_nan=False, width=32),
+        )
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(dense_matrices())
+def test_nm_compression_roundtrip(dense):
+    pruned = apply_mask(dense, nm_mask(dense, 2, 4)).astype(np.float32)
+    sp = NMSparseMatrix.from_dense(pruned, 2, 4)
+    assert np.array_equal(sp.to_dense(), pruned)
+    assert check_nm_pattern(sp.to_dense(), 2, 4)
+
+
+@settings(max_examples=30, deadline=None)
+@given(dense_matrices())
+def test_vnm_compression_roundtrip(dense):
+    v = 4
+    pruned = apply_mask(dense, vnm_mask(dense, v=v, n=2, m=8)).astype(np.float32)
+    sp = VNMSparseMatrix.from_dense(pruned, v=v, n=2, m=8)
+    assert np.array_equal(sp.to_dense(), pruned)
+    assert check_vnm_pattern(sp.to_dense(), v=v, n=2, m=8)
+
+
+@settings(max_examples=30, deadline=None)
+@given(dense_matrices())
+def test_vnm_nonstrict_always_produces_compliant_pattern(dense):
+    sp = VNMSparseMatrix.from_dense(dense, v=4, n=2, m=8, strict=False)
+    assert check_vnm_pattern(sp.to_dense(), v=4, n=2, m=8)
+    # Never stores more than N per M-group per row.
+    assert sp.nnz == dense.shape[0] * dense.shape[1] // 8 * 2
+
+
+@settings(max_examples=30, deadline=None)
+@given(dense_matrices())
+def test_csr_roundtrip_arbitrary_sparsity(dense):
+    # Zero out a pseudo-random half of the entries.
+    mask = (np.arange(dense.size).reshape(dense.shape) * 2654435761 % 97) > 48
+    pruned = np.where(mask, dense, 0.0).astype(np.float32)
+    csr = CSRMatrix.from_dense(pruned)
+    assert np.array_equal(csr.to_dense(), pruned)
+
+
+@settings(max_examples=30, deadline=None)
+@given(dense_matrices())
+def test_cvse_roundtrip(dense):
+    pruned = apply_mask(dense, vector_wise_mask(dense, 0.5, l=4)).astype(np.float32)
+    cvse = CVSEMatrix.from_dense(pruned, l=4)
+    assert np.array_equal(cvse.to_dense(), pruned)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(0, 3), min_size=0, max_size=200))
+def test_metadata_pack_unpack_roundtrip(indices):
+    arr = np.asarray(indices, dtype=np.uint8)
+    words = pack_indices(arr)
+    assert np.array_equal(unpack_indices(words, len(indices)), arr)
+
+
+@settings(max_examples=30, deadline=None)
+@given(dense_matrices())
+def test_vnm_footprint_consistent(dense):
+    sp = VNMSparseMatrix.from_dense(dense, v=4, n=2, m=8, strict=False)
+    fp = sp.footprint("fp16")
+    assert fp.values_bytes == sp.values.size * 2
+    assert fp.metadata_bytes == pytest.approx(sp.values.size * 0.25)
+    assert fp.index_bytes == sp.column_loc.size
+    assert fp.total_bytes <= sp.dense_bytes("fp16") + fp.index_bytes

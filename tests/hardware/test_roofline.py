@@ -1,0 +1,142 @@
+"""Tests for the roofline kernel-cost combinator."""
+
+import pytest
+
+from repro.hardware.memory import TrafficRecord
+from repro.hardware.occupancy import BlockResources
+from repro.hardware.roofline import (
+    KernelCost,
+    compute_cycles_cuda_core,
+    compute_cycles_tensor_core,
+    roofline_cost,
+)
+from repro.hardware.spec import rtx3090
+
+
+@pytest.fixture
+def resources():
+    return BlockResources(threads=256, registers_per_thread=128, smem_bytes=48 * 1024)
+
+
+class TestComputeCycles:
+    def test_tensor_core_sparse_is_twice_as_fast(self, gpu):
+        dense = compute_cycles_tensor_core(1e12, gpu, sparse=False)
+        sparse = compute_cycles_tensor_core(1e12, gpu, sparse=True)
+        assert dense == pytest.approx(2 * sparse)
+
+    def test_cuda_cores_slower_than_tensor_cores(self, gpu):
+        assert compute_cycles_cuda_core(1e12, gpu) > compute_cycles_tensor_core(1e12, gpu)
+
+    def test_efficiency_scales_time(self, gpu):
+        full = compute_cycles_tensor_core(1e12, gpu, efficiency=1.0)
+        half = compute_cycles_tensor_core(1e12, gpu, efficiency=0.5)
+        assert half == pytest.approx(2 * full)
+
+    def test_invalid_args(self, gpu):
+        with pytest.raises(ValueError):
+            compute_cycles_tensor_core(-1, gpu)
+        with pytest.raises(ValueError):
+            compute_cycles_tensor_core(1, gpu, efficiency=0)
+        with pytest.raises(ValueError):
+            compute_cycles_cuda_core(-1, gpu)
+
+
+class TestKernelCost:
+    def test_bound_identifies_dominant_term(self, gpu):
+        cost = KernelCost(gpu=gpu, compute_cycles=100, gmem_cycles=10, smem_cycles=5)
+        assert cost.bound == "compute"
+        cost = KernelCost(gpu=gpu, compute_cycles=10, gmem_cycles=100, smem_cycles=5)
+        assert cost.bound == "gmem"
+
+    def test_total_includes_exposed_fraction(self, gpu):
+        cost = KernelCost(
+            gpu=gpu, compute_cycles=100, gmem_cycles=50, smem_cycles=10, overhead_cycles=5, exposed_fraction=0.2
+        )
+        assert cost.total_cycles == pytest.approx(5 + 100 + 0.2 * 60)
+
+    def test_time_conversions(self, gpu):
+        cost = KernelCost(gpu=gpu, compute_cycles=gpu.sm_clock_hz)  # one second of cycles
+        assert cost.time_s() == pytest.approx(1.0, rel=1e-3)
+        assert cost.time_ms() == pytest.approx(1e3, rel=1e-3)
+        assert cost.time_us() == pytest.approx(1e6, rel=1e-3)
+
+    def test_tflops(self, gpu):
+        cost = KernelCost(gpu=gpu, compute_cycles=gpu.sm_clock_hz)  # 1 second
+        assert cost.tflops(1e12) == pytest.approx(1.0, rel=1e-3)
+        assert KernelCost(gpu=gpu).tflops(1e12) == 0.0
+
+    def test_components_accumulate(self, gpu):
+        cost = KernelCost(gpu=gpu)
+        cost.add_component("x", 5.0)
+        cost.add_component("x", 3.0)
+        assert cost.components["x"] == 8.0
+
+
+class TestRooflineCost:
+    def test_compute_bound_large_flops(self, gpu, resources):
+        cost = roofline_cost(
+            gpu=gpu,
+            flops=1e13,
+            traffic=TrafficRecord(gmem_read_bytes=1e6),
+            resources=resources,
+            total_blocks=1000,
+        )
+        assert cost.bound == "compute"
+
+    def test_memory_bound_large_traffic(self, gpu, resources):
+        cost = roofline_cost(
+            gpu=gpu,
+            flops=1e6,
+            traffic=TrafficRecord(gmem_read_bytes=1e10),
+            resources=resources,
+            total_blocks=1000,
+        )
+        assert cost.bound == "gmem"
+
+    def test_sparse_tensor_cores_speed_up_compute(self, gpu, resources):
+        kwargs = dict(
+            gpu=gpu,
+            flops=1e13,
+            traffic=TrafficRecord(),
+            resources=resources,
+            total_blocks=1000,
+        )
+        dense = roofline_cost(use_tensor_cores=True, sparse_tensor_cores=False, **kwargs)
+        sparse = roofline_cost(use_tensor_cores=True, sparse_tensor_cores=True, **kwargs)
+        assert sparse.total_cycles < dense.total_cycles
+
+    def test_extra_overhead_added(self, gpu, resources):
+        base = roofline_cost(
+            gpu=gpu, flops=1e9, traffic=TrafficRecord(), resources=resources, total_blocks=10
+        )
+        extra = roofline_cost(
+            gpu=gpu,
+            flops=1e9,
+            traffic=TrafficRecord(),
+            resources=resources,
+            total_blocks=10,
+            extra_overhead_cycles=1e5,
+        )
+        assert extra.total_cycles == pytest.approx(base.total_cycles + 1e5, rel=1e-6)
+
+    def test_conflicts_increase_smem_time(self, gpu, resources):
+        kwargs = dict(
+            gpu=gpu,
+            flops=1e6,
+            traffic=TrafficRecord(smem_read_bytes=1e9, smem_write_bytes=1e9),
+            resources=resources,
+            total_blocks=1000,
+        )
+        clean = roofline_cost(smem_conflict_factor=1.0, **kwargs)
+        conflicted = roofline_cost(smem_conflict_factor=8.0, **kwargs)
+        assert conflicted.smem_cycles > clean.smem_cycles
+
+    def test_zero_blocks_rejected(self, gpu, resources):
+        with pytest.raises(ValueError):
+            roofline_cost(gpu=gpu, flops=1, traffic=TrafficRecord(), resources=resources, total_blocks=0)
+
+    def test_launch_overhead_always_present(self, gpu, resources):
+        cost = roofline_cost(
+            gpu=gpu, flops=0.0, traffic=TrafficRecord(), resources=resources, total_blocks=1
+        )
+        assert cost.overhead_cycles >= gpu.kernel_launch_overhead_us * 1e-6 * gpu.sm_clock_hz

@@ -1,0 +1,181 @@
+"""Tests for the STen-style integration layer (paper Listing 1)."""
+
+import numpy as np
+import pytest
+
+from repro.formats.vnm import check_vnm_pattern
+from repro.integration.linear import SpmmLinear, sparsify_encoder
+from repro.integration.sparsifier import VNMSparsifier
+from repro.integration.sten import (
+    SparseTensorWrapper,
+    find_sparsifier_implementation,
+    register_sparsifier_implementation,
+    sparsify,
+)
+from repro.integration.vnm_tensor import VNMTensor
+from repro.kernels.spatha import Spatha
+from repro.models.config import tiny_config
+from repro.models.layers import DenseLinear, SparseLinear, init_dense_linear
+from repro.models.transformer import TransformerEncoder
+
+
+class TestStenRegistry:
+    def test_vnm_implementation_registered_on_import(self):
+        fn = find_sparsifier_implementation(VNMSparsifier, np.ndarray, VNMTensor)
+        assert callable(fn)
+
+    def test_sparsify_dispatch(self, rng):
+        wrapper = sparsify(VNMSparsifier(n=2, m=8, v=16), rng.normal(size=(32, 64)), VNMTensor)
+        assert isinstance(wrapper, SparseTensorWrapper)
+        assert isinstance(wrapper.wrapped_tensor, VNMTensor)
+        assert wrapper.shape == (32, 64)
+
+    def test_missing_implementation(self):
+        class OtherSparsifier:
+            pass
+
+        with pytest.raises(KeyError):
+            find_sparsifier_implementation(OtherSparsifier, np.ndarray, VNMTensor)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+
+            @register_sparsifier_implementation(sparsifier=VNMSparsifier, inp=np.ndarray, out=VNMTensor)
+            def duplicate(sparsifier, tensor, grad_fmt=None):  # pragma: no cover
+                return None
+
+    def test_wrapper_to_dense(self, rng):
+        dense = rng.normal(size=(32, 64))
+        wrapper = sparsify(VNMSparsifier(n=2, m=8, v=16), dense, VNMTensor)
+        recon = wrapper.to_dense()
+        assert recon.shape == dense.shape
+        # The reconstruction is the pruned weight: a subset of the original.
+        nz = recon != 0
+        assert np.allclose(recon[nz], dense.astype(np.float32)[nz], atol=1e-5)
+
+
+class TestVNMSparsifier:
+    def test_magnitude_sparsify(self, rng):
+        vnm = VNMSparsifier(n=2, m=8, v=16).sparsify(rng.normal(size=(32, 64)))
+        assert isinstance(vnm, VNMTensor)
+        assert vnm.sparsity == pytest.approx(0.75)
+        assert check_vnm_pattern(vnm.matrix.to_dense(), v=16, n=2, m=8)
+
+    def test_padding_for_awkward_shapes(self, rng):
+        vnm = VNMSparsifier(n=2, m=8, v=16).sparsify(rng.normal(size=(30, 60)))
+        assert vnm.shape == (30, 60)
+        assert vnm.padded_shape == (32, 64)
+        assert vnm.to_dense().shape == (30, 60)
+
+    def test_second_order_method(self, rng):
+        sparsifier = VNMSparsifier(n=2, m=8, v=16, method="second_order")
+        w = rng.normal(size=(16, 32))
+        vnm = sparsifier.sparsify(w)
+        assert vnm.sparsity == pytest.approx(0.75)
+
+    def test_listing1_alias(self, rng):
+        sparsifier = VNMSparsifier(n=2, m=8, v=16)
+        assert isinstance(sparsifier.vnm_sparsifier(rng.normal(size=(16, 32))), VNMTensor)
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            VNMSparsifier(n=0, m=8, v=16)
+        with pytest.raises(ValueError):
+            VNMSparsifier(n=5, m=8, v=16)
+        with pytest.raises(ValueError):
+            VNMSparsifier(n=2, m=8, v=16, method="random")
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            VNMSparsifier(n=2, m=8, v=16).sparsify(np.zeros(16))
+
+
+class TestVNMTensor:
+    def test_listing1_attribute_names(self, rng):
+        vnm = VNMSparsifier(n=2, m=8, v=16).sparsify(rng.normal(size=(32, 64)))
+        assert vnm.values.shape == (32, 64 // 8 * 2)
+        assert vnm.metadata.shape == vnm.values.shape
+        assert vnm.columns.shape == (32 // 16, 64 // 8 * 4)
+        assert (vnm.v, vnm.n, vnm.m) == (16, 2, 8)
+
+    def test_density(self, rng):
+        vnm = VNMSparsifier(n=2, m=8, v=16).sparsify(rng.normal(size=(32, 64)))
+        assert vnm.density() == pytest.approx(0.25, abs=0.01)
+
+
+class TestSpmmLinear:
+    def test_forward_matches_sparse_dense_layer(self, rng):
+        original = init_dense_linear(32, 64, seed=3)
+        sparsifier = VNMSparsifier(n=2, m=8, v=16)
+        module = SpmmLinear.from_dense(original, sparsifier, spatha=Spatha(autotune=False))
+        x = rng.normal(size=(5, 64)).astype(np.float32)
+        expected = DenseLinear(weight=module.weight.to_dense(), bias=original.bias).forward(x)
+        assert np.allclose(module.forward(x), expected, atol=5e-2, rtol=1e-2)
+
+    def test_forward_with_padded_weight(self, rng):
+        original = init_dense_linear(30, 60, seed=3)
+        module = SpmmLinear.from_dense(original, VNMSparsifier(n=2, m=8, v=16), spatha=Spatha(autotune=False))
+        x = rng.normal(size=(4, 60)).astype(np.float32)
+        out = module.forward(x)
+        assert out.shape == (4, 30)
+        expected = DenseLinear(weight=module.weight.to_dense(), bias=original.bias).forward(x)
+        assert np.allclose(out, expected, atol=5e-2, rtol=1e-2)
+
+    def test_input_dim_validated(self, rng):
+        module = SpmmLinear.from_dense(init_dense_linear(32, 64), VNMSparsifier(n=2, m=8, v=16))
+        with pytest.raises(ValueError):
+            module.forward(rng.normal(size=(4, 63)))
+
+    def test_to_sparse_linear(self):
+        module = SpmmLinear.from_dense(init_dense_linear(32, 64), VNMSparsifier(n=2, m=8, v=16))
+        assert isinstance(module.to_sparse_linear(), SparseLinear)
+
+
+class TestSparsifyEncoder:
+    @pytest.fixture
+    def encoder(self):
+        cfg = tiny_config(hidden_size=64, num_layers=2, num_heads=4, intermediate_size=128)
+        return TransformerEncoder.init(cfg, seed=0)
+
+    def test_sparsify_all_weights(self, encoder, rng):
+        replaced = sparsify_encoder(encoder, VNMSparsifier(n=2, m=8, v=16))
+        assert len(replaced) == 12
+        assert encoder.count_sparse_layers() == 12
+        x = rng.normal(size=(1, 8, 64)).astype(np.float32)
+        assert np.isfinite(encoder.forward(x)).all()
+
+    def test_sparsify_with_filter(self, encoder):
+        replaced = sparsify_encoder(
+            encoder, VNMSparsifier(n=2, m=8, v=16), weight_filter=lambda name: "attention." in name
+        )
+        assert len(replaced) == 8
+        assert encoder.count_sparse_layers() == 8
+
+    def test_sparsify_named_weights(self, encoder):
+        names = ["encoder.layer.0.ffn.output"]
+        replaced = sparsify_encoder(encoder, VNMSparsifier(n=2, m=8, v=16), weight_names=names)
+        assert replaced == names
+
+    def test_unknown_weight_name_raises(self, encoder):
+        with pytest.raises(KeyError):
+            sparsify_encoder(
+                encoder, VNMSparsifier(n=2, m=8, v=16), weight_names=["encoder.layer.0.made.up"]
+            )
+
+    def test_filter_and_names_mutually_exclusive(self, encoder):
+        with pytest.raises(ValueError):
+            sparsify_encoder(
+                encoder,
+                VNMSparsifier(n=2, m=8, v=16),
+                weight_filter=lambda n: True,
+                weight_names=["encoder.layer.0.ffn.output"],
+            )
+
+    def test_accuracy_of_sparsified_model_degrades_gracefully(self, encoder, rng):
+        """Sparsification changes activations but keeps them in a sane range."""
+        x = rng.normal(size=(1, 8, 64)).astype(np.float32)
+        dense_out = encoder.forward(x)
+        sparsify_encoder(encoder, VNMSparsifier(n=2, m=8, v=16))
+        sparse_out = encoder.forward(x)
+        rel = np.abs(dense_out - sparse_out).mean() / np.abs(dense_out).mean()
+        assert rel < 0.5

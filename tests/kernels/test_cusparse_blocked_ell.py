@@ -1,0 +1,78 @@
+"""Tests for the cuSPARSE Blocked-ELL SpMM baseline."""
+
+import numpy as np
+import pytest
+
+from repro.formats.blocked_ell import BlockedEllMatrix
+from repro.kernels import cublas, cusparse
+from repro.kernels.common import GemmProblem, reference_matmul_fp16
+from repro.pruning.block_wise import block_wise_mask
+from repro.pruning.masks import apply_mask
+
+
+@pytest.fixture
+def operands(rng):
+    dense = rng.normal(size=(32, 64))
+    pruned = apply_mask(dense, block_wise_mask(dense, 0.75, block=8)).astype(np.float32)
+    b = rng.normal(size=(64, 16)).astype(np.float32)
+    return BlockedEllMatrix.from_dense(pruned, b=8), pruned, b
+
+
+class TestFunctional:
+    def test_matches_dense_reference(self, operands):
+        a_sparse, pruned, b = operands
+        out = cusparse.spmm(a_sparse, b)
+        assert np.allclose(out, reference_matmul_fp16(pruned, b), atol=2e-2, rtol=1e-2)
+
+    def test_run_wrapper(self, operands, gpu):
+        a_sparse, _, b = operands
+        res = cusparse.run(a_sparse, b, gpu=gpu)
+        assert res.output.shape == (32, 16)
+        assert res.kernel == "cusparse_blocked_ell_spmm"
+
+    def test_wrong_operand_type(self, rng):
+        with pytest.raises(TypeError):
+            cusparse.spmm(rng.normal(size=(4, 8)), rng.normal(size=(8, 2)))
+
+    def test_shape_mismatch(self, operands):
+        a_sparse, _, _ = operands
+        with pytest.raises(ValueError):
+            cusparse.spmm(a_sparse, np.ones((5, 4)))
+
+
+class TestPerformanceModel:
+    def test_time_scales_with_density(self, gpu):
+        p_dense = GemmProblem(2048, 2048, 4096, sparsity=0.5)
+        p_sparse = GemmProblem(2048, 2048, 4096, sparsity=0.9)
+        assert (
+            cusparse.estimate_time(p_sparse, gpu=gpu).time_us
+            < cusparse.estimate_time(p_dense, gpu=gpu).time_us
+        )
+
+    def test_padding_hurts(self, gpu):
+        p = GemmProblem(2048, 2048, 4096, sparsity=0.9)
+        clean = cusparse.estimate_time(p, gpu=gpu, padding_fraction=0.0)
+        padded = cusparse.estimate_time(p, gpu=gpu, padding_fraction=0.4)
+        assert padded.time_us > clean.time_us
+
+    def test_slower_than_spatha_at_same_sparsity(self, gpu):
+        """Block-wise + cuSPARSE loses to V:N:M + Spatha (the paper's pitch)."""
+        from repro.kernels.spatha import estimate_time as spatha_time
+
+        p = GemmProblem.from_nm(1024, 4096, 4096, 2, 20, v=128)
+        assert spatha_time(p, gpu=gpu).time_us < cusparse.estimate_time(p, gpu=gpu).time_us
+
+    def test_beats_dense_only_at_high_sparsity(self, gpu):
+        dense_time = cublas.estimate_time(GemmProblem(1024, 4096, 4096), gpu=gpu).time_us
+        moderate = cusparse.estimate_time(GemmProblem(1024, 4096, 4096, sparsity=0.5), gpu=gpu)
+        high = cusparse.estimate_time(GemmProblem(1024, 4096, 4096, sparsity=0.95), gpu=gpu)
+        assert moderate.time_us > dense_time
+        assert high.time_us < dense_time
+
+    def test_invalid_arguments(self, gpu):
+        with pytest.raises(ValueError):
+            cusparse.estimate_time(GemmProblem(64, 64, 64, sparsity=0.5), gpu=gpu, padding_fraction=1.0)
+        with pytest.raises(ValueError):
+            cusparse.CusparseBlockedEllConfig(block_size=0)
+        with pytest.raises(ValueError):
+            cusparse.CusparseBlockedEllConfig(compute_efficiency=2.0)

@@ -1,0 +1,103 @@
+"""Numerical tests for Spatha's SpMM (the V:N:M kernel)."""
+
+import numpy as np
+import pytest
+
+from repro.formats.vnm import VNMSparseMatrix
+from repro.kernels.spatha import Spatha
+from repro.kernels.spatha.spmm import spmm, spmm_dense_baseline, spmm_reference
+from repro.pruning.masks import apply_mask
+from repro.pruning.vnm import vnm_mask
+
+
+def make_operands(rng, rows=64, cols=96, c=32, v=16, n=2, m=8):
+    dense = rng.normal(size=(rows, cols))
+    pruned = apply_mask(dense, vnm_mask(dense, v=v, n=n, m=m)).astype(np.float32)
+    a = VNMSparseMatrix.from_dense(pruned, v=v, n=n, m=m)
+    b = rng.normal(size=(cols, c)).astype(np.float32)
+    return a, pruned, b
+
+
+class TestSpmmNumerics:
+    def test_matches_dense_reference(self, rng):
+        a, pruned, b = make_operands(rng)
+        assert np.allclose(spmm(a, b), spmm_dense_baseline(pruned, b), atol=2e-2, rtol=1e-2)
+
+    def test_matches_decompressed_reference(self, rng):
+        a, _, b = make_operands(rng)
+        assert np.allclose(spmm(a, b), spmm_reference(a, b), atol=2e-2, rtol=1e-2)
+
+    def test_multiple_vnm_configurations(self, rng):
+        for v, n, m in [(16, 2, 4), (16, 1, 8), (32, 2, 16), (16, 2, 10)]:
+            cols = 2 * m * 4
+            a, pruned, b = make_operands(rng, rows=64, cols=cols, c=16, v=v, n=n, m=m)
+            assert np.allclose(spmm(a, b), spmm_dense_baseline(pruned, b), atol=2e-2, rtol=1e-2), (v, n, m)
+
+    def test_bias_added_per_row(self, rng):
+        a, _, b = make_operands(rng)
+        bias = rng.normal(size=a.shape[0]).astype(np.float32)
+        with_bias = spmm(a, b, bias=bias)
+        without = spmm(a, b)
+        assert np.allclose(with_bias - without, bias[:, None], atol=1e-6)
+
+    def test_bias_shape_validated(self, rng):
+        a, _, b = make_operands(rng)
+        with pytest.raises(ValueError):
+            spmm(a, b, bias=np.ones(3))
+
+    def test_wrong_operand_type(self, rng):
+        with pytest.raises(TypeError):
+            spmm(rng.normal(size=(4, 8)), rng.normal(size=(8, 2)))
+
+    def test_shape_mismatch(self, rng):
+        a, _, _ = make_operands(rng)
+        with pytest.raises(ValueError):
+            spmm(a, np.ones((5, 5)))
+
+    def test_zero_matrix_gives_zero_output(self, rng):
+        a, _, b = make_operands(rng)
+        zero = VNMSparseMatrix.from_dense(
+            np.zeros(a.shape, dtype=np.float32), v=a.v, n=a.n, m=a.m, strict=True
+        )
+        assert np.allclose(spmm(zero, b), 0.0)
+
+    def test_identity_like_selection(self):
+        """A matrix whose only non-zeros sit in the selected columns must
+        reproduce exact row gathers of B."""
+        a_dense = np.zeros((16, 16), dtype=np.float32)
+        a_dense[0, 3] = 1.0
+        a_dense[5, 11] = 2.0
+        a = VNMSparseMatrix.from_dense(a_dense, v=16, n=2, m=8, strict=True)
+        b = np.arange(16 * 4, dtype=np.float32).reshape(16, 4)
+        out = spmm(a, b)
+        assert np.allclose(out[0], b[3])
+        assert np.allclose(out[5], 2.0 * b[11])
+
+
+class TestSpathaFacade:
+    def test_compress_then_spmm(self, rng):
+        spatha = Spatha(autotune=False)
+        dense = rng.normal(size=(64, 96))
+        a = spatha.compress(dense, v=16, n=2, m=8)
+        assert isinstance(a, VNMSparseMatrix)
+        b = rng.normal(size=(96, 8)).astype(np.float32)
+        out = spatha.spmm(a, b)
+        assert out.shape == (64, 8)
+
+    def test_compress_strict_requires_pruned(self, rng):
+        spatha = Spatha(autotune=False)
+        dense = rng.normal(size=(64, 96)) + 5.0
+        with pytest.raises(ValueError):
+            spatha.compress(dense, v=16, n=2, m=8, prune=False)
+
+    def test_run_returns_time_and_output(self, rng):
+        spatha = Spatha(autotune=False)
+        a, pruned, b = make_operands(rng, rows=128, cols=128, c=32, v=32, n=2, m=8)
+        res = spatha.run(a, b)
+        assert res.output.shape == (128, 32)
+        assert res.time_us > 0
+        assert np.allclose(res.output, spmm_dense_baseline(pruned, b), atol=2e-2, rtol=1e-2)
+
+    def test_verify_helper(self, rng):
+        a, _, b = make_operands(rng)
+        assert Spatha.verify(a, b)

@@ -1,0 +1,116 @@
+"""Tests for model configurations and the functional (non-GEMM) operators."""
+
+import numpy as np
+import pytest
+
+from repro.models.config import (
+    BERT_BASE,
+    BERT_LARGE,
+    GPT2_LARGE,
+    GPT3_175B,
+    ModelConfig,
+    get_model,
+    tiny_config,
+)
+from repro.models.functional import (
+    attention_context,
+    attention_scores,
+    gelu,
+    layer_norm,
+    merge_heads,
+    softmax,
+    split_heads,
+)
+
+
+class TestModelConfig:
+    def test_presets_match_published_sizes(self):
+        assert (BERT_BASE.hidden_size, BERT_BASE.num_layers, BERT_BASE.num_heads) == (768, 12, 12)
+        assert (BERT_LARGE.hidden_size, BERT_LARGE.num_layers, BERT_LARGE.num_heads) == (1024, 24, 16)
+        assert (GPT2_LARGE.hidden_size, GPT2_LARGE.num_layers) == (1280, 36)
+        assert (GPT3_175B.hidden_size, GPT3_175B.num_layers, GPT3_175B.num_heads) == (12288, 96, 96)
+
+    def test_head_dim(self):
+        assert BERT_BASE.head_dim == 64
+        assert GPT3_175B.head_dim == 128
+
+    def test_linear_layer_shapes(self):
+        shapes = BERT_BASE.linear_layer_shapes()
+        assert shapes["attention.query"] == (768, 768)
+        assert shapes["ffn.intermediate"] == (3072, 768)
+        assert shapes["ffn.output"] == (768, 3072)
+        assert len(shapes) == 6
+
+    def test_prunable_parameter_count_bert_base(self):
+        """The paper prunes the 85M encoder weights of BERT-base."""
+        assert BERT_BASE.prunable_parameters() == pytest.approx(85e6, rel=0.02)
+
+    def test_gemm_problems_token_count(self):
+        problems = BERT_BASE.gemm_problems(batch_size=8, seq_len=512)
+        assert all(p["c"] == 8 * 512 for p in problems)
+        assert len(problems) == 6
+
+    def test_get_model(self):
+        assert get_model("bert-large") is BERT_LARGE
+        with pytest.raises(KeyError):
+            get_model("llama")
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            ModelConfig(name="x", hidden_size=100, num_layers=2, num_heads=3, intermediate_size=400)
+        with pytest.raises(ValueError):
+            ModelConfig(name="x", hidden_size=0, num_layers=2, num_heads=2, intermediate_size=4)
+
+    def test_tiny_config(self):
+        cfg = tiny_config()
+        assert cfg.hidden_size % cfg.num_heads == 0
+
+
+class TestFunctionalOps:
+    def test_softmax_rows_sum_to_one(self, rng):
+        x = rng.normal(size=(3, 5, 7))
+        s = softmax(x, axis=-1)
+        assert np.allclose(s.sum(axis=-1), 1.0, atol=1e-6)
+        assert np.all(s >= 0)
+
+    def test_softmax_stability_with_large_values(self):
+        x = np.array([[1e4, 1e4 + 1.0]])
+        s = softmax(x)
+        assert np.isfinite(s).all()
+
+    def test_gelu_known_values(self):
+        assert gelu(np.array([0.0]))[0] == pytest.approx(0.0)
+        assert gelu(np.array([10.0]))[0] == pytest.approx(10.0, rel=1e-3)
+        assert gelu(np.array([-10.0]))[0] == pytest.approx(0.0, abs=1e-3)
+
+    def test_layer_norm_normalises(self, rng):
+        x = rng.normal(loc=3.0, scale=5.0, size=(4, 16))
+        out = layer_norm(x, np.ones(16), np.zeros(16))
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-5)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_layer_norm_shape_check(self, rng):
+        with pytest.raises(ValueError):
+            layer_norm(rng.normal(size=(2, 8)), np.ones(4), np.zeros(4))
+
+    def test_split_merge_heads_roundtrip(self, rng):
+        x = rng.normal(size=(2, 6, 16)).astype(np.float32)
+        assert np.allclose(merge_heads(split_heads(x, 4)), x)
+
+    def test_split_heads_shape(self, rng):
+        out = split_heads(rng.normal(size=(2, 6, 16)), 4)
+        assert out.shape == (2, 4, 6, 4)
+        with pytest.raises(ValueError):
+            split_heads(rng.normal(size=(2, 6, 15)), 4)
+
+    def test_attention_scores_scaled(self, rng):
+        q = rng.normal(size=(1, 2, 4, 8))
+        k = rng.normal(size=(1, 2, 4, 8))
+        scores = attention_scores(q, k)
+        expected = q @ np.swapaxes(k, -1, -2) / np.sqrt(8)
+        assert np.allclose(scores, expected, atol=1e-5)
+
+    def test_attention_context_shape(self, rng):
+        probs = softmax(rng.normal(size=(1, 2, 4, 4)))
+        v = rng.normal(size=(1, 2, 4, 8))
+        assert attention_context(probs, v).shape == (1, 2, 4, 8)

@@ -1,0 +1,163 @@
+"""Tests for the layer abstractions, attention and the encoder stack."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.spatha import Spatha
+from repro.models.attention import MultiHeadAttention
+from repro.models.config import tiny_config
+from repro.models.layers import DenseLinear, SparseLinear, init_dense_linear
+from repro.models.transformer import EncoderLayer, TransformerEncoder
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return tiny_config(hidden_size=64, num_layers=2, num_heads=4, intermediate_size=128)
+
+
+@pytest.fixture
+def hidden(rng, cfg):
+    return rng.normal(size=(2, 16, cfg.hidden_size)).astype(np.float32)
+
+
+class TestDenseLinear:
+    def test_forward_matches_matmul(self, rng):
+        layer = init_dense_linear(8, 16, seed=0)
+        x = rng.normal(size=(3, 16)).astype(np.float32)
+        out = layer.forward(x)
+        expected = x @ layer.weight.T + layer.bias
+        assert np.allclose(out, expected, atol=1e-2)
+
+    def test_forward_keeps_leading_dims(self, rng):
+        layer = init_dense_linear(8, 16, seed=0)
+        x = rng.normal(size=(2, 5, 16)).astype(np.float32)
+        assert layer.forward(x).shape == (2, 5, 8)
+
+    def test_gemm_problem_dims(self):
+        layer = init_dense_linear(8, 16)
+        p = layer.gemm_problem(tokens=40)
+        assert (p.r, p.k, p.c) == (8, 16, 40)
+
+    def test_kernel_result_positive_time(self, gpu):
+        layer = init_dense_linear(64, 64)
+        assert layer.kernel_result(tokens=256, gpu=gpu).time_us > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DenseLinear(weight=np.zeros(4))
+        with pytest.raises(ValueError):
+            DenseLinear(weight=np.zeros((4, 4)), bias=np.zeros(3))
+
+
+class TestSparseLinear:
+    def test_from_dense_applies_vnm_pattern(self):
+        dense = init_dense_linear(32, 64, seed=1)
+        sparse = SparseLinear.from_dense(dense, v=16, n=2, m=8, spatha=Spatha(autotune=False))
+        assert sparse.sparsity == pytest.approx(0.75)
+        assert sparse.out_features == 32 and sparse.in_features == 64
+
+    def test_forward_close_to_dense_on_pruned_weight(self, rng):
+        dense = init_dense_linear(32, 64, seed=1)
+        sparse = SparseLinear.from_dense(dense, v=16, n=2, m=8, spatha=Spatha(autotune=False))
+        x = rng.normal(size=(4, 64)).astype(np.float32)
+        # The sparse layer equals a dense layer whose weight is the pruned one.
+        pruned_dense = DenseLinear(weight=sparse.sparse_weight.to_dense(), bias=dense.bias)
+        assert np.allclose(sparse.forward(x), pruned_dense.forward(x), atol=5e-2, rtol=1e-2)
+
+    def test_gemm_problem_carries_pattern(self):
+        dense = init_dense_linear(32, 64, seed=1)
+        sparse = SparseLinear.from_dense(dense, v=16, n=2, m=8, spatha=Spatha(autotune=False))
+        p = sparse.gemm_problem(tokens=128)
+        assert (p.n, p.m, p.v) == (2, 8, 16)
+
+    def test_kernel_result_faster_than_dense(self, gpu):
+        dense = init_dense_linear(1024, 4096, seed=1)
+        sparse = SparseLinear.from_dense(dense, v=128, n=2, m=16, spatha=Spatha(gpu=gpu, autotune=False))
+        assert sparse.kernel_result(4096).time_us < dense.kernel_result(4096, gpu=gpu).time_us
+
+
+class TestMultiHeadAttention:
+    def test_forward_shape(self, cfg, hidden):
+        mha = MultiHeadAttention.init(cfg, seed=0)
+        out = mha.forward(hidden)
+        assert out.shape == hidden.shape
+
+    def test_attention_probs_normalised(self, cfg, hidden):
+        mha = MultiHeadAttention.init(cfg, seed=0)
+        _, probs = mha.forward(hidden, return_probs=True)
+        assert probs.shape == (2, cfg.num_heads, 16, 16)
+        assert np.allclose(probs.sum(axis=-1), 1.0, atol=1e-5)
+
+    def test_replace_projection(self, cfg):
+        mha = MultiHeadAttention.init(cfg, seed=0)
+        new = init_dense_linear(cfg.hidden_size, cfg.hidden_size, name="attention.query", seed=99)
+        mha.replace_projection("attention.query", new)
+        assert mha.query is new
+        with pytest.raises(KeyError):
+            mha.replace_projection("attention.unknown", new)
+
+    def test_shape_validation(self, cfg, rng):
+        mha = MultiHeadAttention.init(cfg, seed=0)
+        with pytest.raises(ValueError):
+            mha.forward(rng.normal(size=(2, 16, cfg.hidden_size + 1)))
+
+    def test_flop_accounting(self, cfg):
+        mha = MultiHeadAttention.init(cfg, seed=0)
+        flops = mha.attention_matmul_flops(batch_size=2, seq_len=16)
+        d = cfg.head_dim
+        expected = 2 * (2 * 16 * d * 16) * cfg.num_heads * 2
+        assert flops == pytest.approx(expected)
+        assert mha.softmax_elements(2, 16) == 2 * cfg.num_heads * 16 * 16
+
+
+class TestEncoder:
+    def test_forward_preserves_shape(self, cfg, hidden):
+        enc = TransformerEncoder.init(cfg, seed=0)
+        out = enc.forward(hidden)
+        assert out.shape == hidden.shape
+        assert np.isfinite(out).all()
+
+    def test_layer_count_override(self, cfg):
+        enc = TransformerEncoder.init(cfg, num_layers=1)
+        assert len(enc.layers) == 1
+        with pytest.raises(ValueError):
+            TransformerEncoder.init(cfg, num_layers=0)
+
+    def test_named_linear_layers_complete(self, cfg):
+        enc = TransformerEncoder.init(cfg, seed=0)
+        names = [name for name, _ in enc.named_linear_layers()]
+        assert len(names) == cfg.num_layers * 6
+        assert "encoder.layer.0.attention.query" in names
+        assert "encoder.layer.1.ffn.output" in names
+
+    def test_replace_linear_by_qualified_name(self, cfg):
+        enc = TransformerEncoder.init(cfg, seed=0)
+        new = init_dense_linear(cfg.hidden_size, cfg.hidden_size, seed=7)
+        enc.replace_linear("encoder.layer.0.attention.key", new)
+        assert enc.layers[0].attention.key is new
+        with pytest.raises(KeyError):
+            enc.replace_linear("decoder.layer.0.attention.key", new)
+        with pytest.raises(KeyError):
+            enc.replace_linear("encoder.layer.9.attention.key", new)
+
+    def test_apply_to_linears_counts_replacements(self, cfg):
+        enc = TransformerEncoder.init(cfg, seed=0)
+
+        def swap_queries(name, layer):
+            if name.endswith("attention.query"):
+                return init_dense_linear(layer.out_features, layer.in_features, seed=1)
+            return None
+
+        replaced = enc.apply_to_linears(swap_queries)
+        assert replaced == cfg.num_layers
+
+    def test_sparsity_summary_dense_model(self, cfg):
+        enc = TransformerEncoder.init(cfg, seed=0)
+        summary = enc.layers[0].sparsity_summary()
+        assert set(summary.values()) == {0.0}
+        assert enc.count_sparse_layers() == 0
+
+    def test_encoder_layer_forward_changes_activations(self, cfg, hidden):
+        layer = EncoderLayer.init(cfg, index=0, seed=0)
+        out = layer.forward(hidden)
+        assert not np.allclose(out, hidden)

@@ -1,0 +1,107 @@
+"""Tests for the first-order (movement / PLATON) pruning criteria."""
+
+import numpy as np
+import pytest
+
+from repro.pruning.first_order import (
+    first_order_mask,
+    first_order_nm_mask,
+    first_order_prune,
+    first_order_vnm_mask,
+    movement_scores,
+    platon_scores,
+)
+from repro.pruning.masks import check_mask_nm, check_mask_vnm, mask_sparsity
+from repro.pruning.second_order.fisher import synthetic_gradients
+
+
+@pytest.fixture
+def layer(rng):
+    return rng.normal(size=(32, 64))
+
+
+@pytest.fixture
+def grads(layer):
+    return synthetic_gradients(layer, num_samples=16, seed=1)
+
+
+class TestScores:
+    def test_movement_scores_shape(self, layer, grads):
+        assert movement_scores(layer, grads).shape == layer.shape
+
+    def test_movement_sign_convention(self):
+        """A weight pushed away from zero (w and grad opposite signs) scores high."""
+        w = np.array([[1.0, 1.0]])
+        grads = np.array([[-0.5, 0.5]])  # first weight grows, second shrinks
+        scores = movement_scores(w, grads)
+        assert scores[0, 0] > scores[0, 1]
+
+    def test_platon_scores_nonnegative(self, layer, grads):
+        assert np.all(platon_scores(layer, grads) >= 0)
+
+    def test_platon_uncertainty_bonus(self, layer, grads):
+        with_u = platon_scores(layer, grads, uncertainty_weight=1.0)
+        without = platon_scores(layer, grads, uncertainty_weight=0.0)
+        assert np.all(with_u >= without - 1e-12)
+
+    def test_gradient_shape_validated(self, layer):
+        with pytest.raises(ValueError):
+            movement_scores(layer, np.zeros((4, 7)))
+        with pytest.raises(ValueError):
+            platon_scores(layer, np.zeros((0, layer.size)))
+
+    def test_negative_uncertainty_rejected(self, layer, grads):
+        with pytest.raises(ValueError):
+            platon_scores(layer, grads, uncertainty_weight=-1.0)
+
+
+class TestMasks:
+    def test_unstructured_mask_hits_sparsity(self, layer, grads):
+        mask = first_order_mask(layer, grads, 0.75, criterion="movement")
+        assert mask_sparsity(mask) == pytest.approx(0.75, abs=0.01)
+
+    def test_nm_mask_structurally_valid(self, layer, grads):
+        mask = first_order_nm_mask(layer, grads, n=2, m=8, criterion="platon")
+        assert check_mask_nm(mask, 2, 8)
+
+    def test_vnm_mask_structurally_valid(self, layer, grads):
+        mask = first_order_vnm_mask(layer, grads, v=16, n=2, m=8, criterion="platon")
+        assert check_mask_vnm(mask, v=16, n=2, m=8)
+
+    def test_unknown_criterion(self, layer, grads):
+        with pytest.raises(ValueError):
+            first_order_mask(layer, grads, 0.5, criterion="taylor3")
+        with pytest.raises(ValueError):
+            first_order_nm_mask(layer, grads, criterion="taylor3")
+        with pytest.raises(ValueError):
+            first_order_vnm_mask(layer, grads, v=16, criterion="taylor3")
+
+    def test_differs_from_pure_magnitude(self, layer, grads):
+        """Gradient information must actually influence the selection."""
+        from repro.pruning.magnitude import magnitude_mask
+
+        fo = first_order_mask(layer, grads, 0.5, criterion="movement")
+        mag = magnitude_mask(layer, 0.5)
+        assert not np.array_equal(fo, mag)
+
+
+class TestPruneWrapper:
+    def test_unstructured(self, layer, grads):
+        res = first_order_prune(layer, grads, sparsity=0.6)
+        assert res.target_sparsity == 0.6
+        assert res.sparsity == pytest.approx(0.6, abs=0.01)
+
+    def test_structured_nm(self, layer, grads):
+        res = first_order_prune(layer, grads, n=2, m=8)
+        assert check_mask_nm(res.mask, 2, 8)
+        assert res.target_sparsity == pytest.approx(0.75)
+
+    def test_structured_vnm(self, layer, grads):
+        res = first_order_prune(layer, grads, v=16, n=2, m=8, criterion="platon")
+        assert check_mask_vnm(res.mask, v=16, n=2, m=8)
+
+    def test_argument_validation(self, layer, grads):
+        with pytest.raises(ValueError):
+            first_order_prune(layer, grads)  # neither sparsity nor pattern
+        with pytest.raises(ValueError):
+            first_order_prune(layer, grads, sparsity=0.5, n=2, m=8)  # both
