@@ -1,0 +1,96 @@
+"""Microbenchmarks of the vectorized execution engine.
+
+Times the batched paths against their retained loop references on
+moderately sized operands and asserts both the numerical equivalence and a
+conservative speedup floor (the full-size numbers — including the 10x+
+4096-cube SpMM — are produced by ``benchmarks/run_bench.py`` and recorded
+in ``BENCH_engine.json``).
+"""
+
+import time
+
+import numpy as np
+
+from repro.evaluation.reporting import format_table
+from repro.formats.vnm import VNMSparseMatrix
+from repro.kernels.spatha import SpmmPlan, spmm_loop_reference
+from repro.pruning.second_order.obs_vnm import (
+    second_order_vnm_prune,
+    second_order_vnm_prune_reference,
+)
+
+
+def best_of(fn, repeats=3):
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        times.append(time.perf_counter() - t0)
+    return min(times), result
+
+
+def test_perf_spmm_plan_vs_loop(run_once):
+    rng = np.random.default_rng(0)
+    r = k = 1024
+    c = 256
+    dense = rng.normal(size=(r, k)).astype(np.float32)
+    a = VNMSparseMatrix.from_dense(dense, v=16, n=2, m=4, strict=False)
+    b = rng.normal(size=(k, c)).astype(np.float32)
+
+    plan = SpmmPlan.for_matrix(a)
+    plan.execute(b)  # warm: operand preparation paid once, like serving
+
+    ref_t, ref_out = best_of(lambda: spmm_loop_reference(a, b))
+    vec_t, vec_out = run_once(lambda: best_of(lambda: plan.execute(b)))
+
+    print()
+    print(
+        format_table(
+            ["op", "shape", "loop (ms)", "vectorized (ms)", "speedup"],
+            [
+                [
+                    "spatha.spmm",
+                    f"{r}x{k}x{c} 16:2:4",
+                    round(ref_t * 1e3, 2),
+                    round(vec_t * 1e3, 2),
+                    round(ref_t / vec_t, 1),
+                ]
+            ],
+            title="Vectorized engine microbenchmark (see run_bench.py for full sizes)",
+        )
+    )
+
+    assert np.allclose(vec_out, ref_out, atol=1e-3, rtol=1e-5)
+    # The full-size speedup is >10x (see BENCH_engine.json); at this reduced
+    # size we only assert a conservative floor to keep the suite robust.
+    assert ref_t / vec_t > 1.5
+
+
+def test_perf_second_order_vnm_vs_loop(run_once):
+    rng = np.random.default_rng(1)
+    w = rng.normal(size=(32, 64))
+
+    ref_t, ref = best_of(lambda: second_order_vnm_prune_reference(w, v=8, n=2, m=8), repeats=2)
+    vec_t, vec = run_once(lambda: best_of(lambda: second_order_vnm_prune(w, v=8, n=2, m=8)))
+
+    print()
+    print(
+        format_table(
+            ["op", "shape", "loop (ms)", "vectorized (ms)", "speedup"],
+            [
+                [
+                    "second_order_vnm_prune",
+                    "32x64 8:2:8",
+                    round(ref_t * 1e3, 1),
+                    round(vec_t * 1e3, 1),
+                    round(ref_t / vec_t, 1),
+                ]
+            ],
+        )
+    )
+
+    assert np.array_equal(vec.mask, ref.mask)
+    assert np.allclose(vec.pruned_weights, ref.pruned_weights, atol=1e-10)
+    # Typically >10x; the floor is deliberately loose so scheduler noise on
+    # the single-core CI box cannot flake the gate.
+    assert ref_t / vec_t > 1.5

@@ -63,7 +63,40 @@ class BlockedEllMatrix(SparseFormat):
 
     @classmethod
     def from_dense(cls, dense: np.ndarray, b: int = 16, tol: float = 0.0) -> "BlockedEllMatrix":
-        """Store every ``b x b`` block that contains at least one non-zero."""
+        """Store every ``b x b`` block that contains at least one non-zero.
+
+        The ELL slot of every kept block is its rank within its block row,
+        computed for all rows at once, so the whole layout is written with
+        two fancy assignments.  :meth:`from_dense_reference` keeps the
+        per-block loop as the equivalence reference.
+        """
+        arr = as_float_matrix(dense)
+        rows, cols = arr.shape
+        if b <= 0:
+            raise ValueError("block size must be positive")
+        if rows % b or cols % b:
+            raise ValueError(f"matrix shape {arr.shape} must be divisible by block size {b}")
+        nbr, nbc = rows // b, cols // b
+        tiled = arr.reshape(nbr, b, nbc, b).transpose(0, 2, 1, 3)  # (nbr, nbc, b, b)
+        keep = np.abs(tiled).max(axis=(2, 3)) > tol  # (nbr, nbc)
+        counts = keep.sum(axis=1)
+        ell_cols = int(counts.max()) if keep.size else 0
+        ell_cols = max(ell_cols, 1)
+
+        blocks = np.zeros((nbr, ell_cols, b, b), dtype=np.float32)
+        block_cols = np.full((nbr, ell_cols), -1, dtype=np.int64)
+        row_idx, col_idx = np.nonzero(keep)
+        if row_idx.size:
+            starts = np.zeros(nbr, dtype=np.int64)
+            np.cumsum(counts[:-1], out=starts[1:])
+            slot = np.arange(row_idx.size, dtype=np.int64) - np.repeat(starts, counts)
+            blocks[row_idx, slot] = tiled[row_idx, col_idx]
+            block_cols[row_idx, slot] = col_idx
+        return cls(blocks=blocks, block_cols=block_cols, b=b, nrows=rows, ncols=cols)
+
+    @classmethod
+    def from_dense_reference(cls, dense: np.ndarray, b: int = 16, tol: float = 0.0) -> "BlockedEllMatrix":
+        """Per-block loop implementation of :meth:`from_dense` (for tests)."""
         arr = as_float_matrix(dense)
         rows, cols = arr.shape
         if b <= 0:
@@ -86,7 +119,24 @@ class BlockedEllMatrix(SparseFormat):
         return cls(blocks=blocks, block_cols=block_cols, b=b, nrows=rows, ncols=cols)
 
     def to_dense(self) -> np.ndarray:
-        """Reconstruct the dense ``(nrows, ncols)`` matrix."""
+        """Reconstruct the dense ``(nrows, ncols)`` matrix.
+
+        Single vectorized scatter of all non-padding blocks into the tiled
+        view of the output; :meth:`to_dense_reference` keeps the loop.
+        """
+        dense = np.zeros((self.nrows, self.ncols), dtype=np.float32)
+        nbr = self.nrows // self.b
+        nbc = self.ncols // self.b
+        row_idx, slot_idx = np.nonzero(self.block_cols >= 0)
+        if row_idx.size:
+            col_idx = self.block_cols[row_idx, slot_idx]
+            dense.reshape(nbr, self.b, nbc, self.b)[row_idx, :, col_idx, :] = self.blocks[
+                row_idx, slot_idx
+            ]
+        return dense
+
+    def to_dense_reference(self) -> np.ndarray:
+        """Per-slot loop implementation of :meth:`to_dense` (for tests)."""
         dense = np.zeros((self.nrows, self.ncols), dtype=np.float32)
         nbr, ell_cols = self.block_cols.shape
         for i in range(nbr):

@@ -81,7 +81,22 @@ class CSRMatrix(SparseFormat):
         )
 
     def to_dense(self) -> np.ndarray:
-        """Reconstruct the dense ``(rows, ncols)`` matrix."""
+        """Reconstruct the dense ``(rows, ncols)`` matrix.
+
+        One vectorized scatter: every value's row index is expanded from the
+        row-pointer array and the whole matrix is written with a single
+        fancy assignment.  :meth:`to_dense_reference` keeps the per-row loop
+        as the equivalence reference.
+        """
+        rows = self.indptr.size - 1
+        dense = np.zeros((rows, self.ncols), dtype=np.float32)
+        if self.data.size:
+            row_idx = np.repeat(np.arange(rows, dtype=np.int64), np.diff(self.indptr))
+            dense[row_idx, self.indices] = self.data
+        return dense
+
+    def to_dense_reference(self) -> np.ndarray:
+        """Per-row loop implementation of :meth:`to_dense` (kept for tests)."""
         rows = self.indptr.size - 1
         dense = np.zeros((rows, self.ncols), dtype=np.float32)
         for r in range(rows):

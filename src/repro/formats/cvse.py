@@ -80,7 +80,44 @@ class CVSEMatrix(SparseFormat):
     # ------------------------------------------------------------------
     @classmethod
     def from_dense(cls, dense: np.ndarray, l: int = 8, tol: float = 0.0) -> "CVSEMatrix":
-        """Store every length-``l`` column vector that contains a non-zero."""
+        """Store every length-``l`` column vector that contains a non-zero.
+
+        The survivor scan, the gather of the kept vectors and the pointer
+        array are all single batched operations (``np.nonzero`` enumerates
+        row-major, i.e. block by block in ascending column order — exactly
+        the order the per-block loop produced).
+        :meth:`from_dense_reference` keeps that loop for the tests.
+        """
+        arr = as_float_matrix(dense)
+        rows, cols = arr.shape
+        if l <= 0:
+            raise ValueError("vector length l must be positive")
+        if rows % l != 0:
+            raise ValueError(f"rows ({rows}) must be divisible by l ({l})")
+        n_blocks = rows // l
+        blocks = arr.reshape(n_blocks, l, cols)
+        keep = np.abs(blocks).max(axis=1) > tol  # (n_blocks, cols)
+
+        blk_idx, vector_cols = np.nonzero(keep)
+        data = (
+            blocks[blk_idx, :, vector_cols]  # (num_vectors, l)
+            if vector_cols.size
+            else np.zeros((0, l), dtype=np.float32)
+        )
+        ptr = np.zeros(n_blocks + 1, dtype=np.int64)
+        np.cumsum(keep.sum(axis=1), out=ptr[1:])
+        return cls(
+            data=data,
+            vector_cols=vector_cols.astype(np.int64),
+            vector_ptr=ptr,
+            l=l,
+            nrows=rows,
+            ncols_total=cols,
+        )
+
+    @classmethod
+    def from_dense_reference(cls, dense: np.ndarray, l: int = 8, tol: float = 0.0) -> "CVSEMatrix":
+        """Per-block loop implementation of :meth:`from_dense` (for tests)."""
         arr = as_float_matrix(dense)
         rows, cols = arr.shape
         if l <= 0:
@@ -112,7 +149,24 @@ class CVSEMatrix(SparseFormat):
         )
 
     def to_dense(self) -> np.ndarray:
-        """Reconstruct the dense ``(nrows, ncols_total)`` matrix."""
+        """Reconstruct the dense ``(nrows, ncols_total)`` matrix.
+
+        Single vectorized scatter of all stored vectors;
+        :meth:`to_dense_reference` keeps the nested loop for the tests.
+        """
+        dense = np.zeros((self.nrows, self.ncols_total), dtype=np.float32)
+        if self.data.shape[0]:
+            n_blocks = self.nrows // self.l
+            blk_of_vec = np.repeat(
+                np.arange(n_blocks, dtype=np.int64), np.diff(self.vector_ptr)
+            )
+            dense.reshape(n_blocks, self.l, self.ncols_total)[
+                blk_of_vec, :, self.vector_cols
+            ] = self.data
+        return dense
+
+    def to_dense_reference(self) -> np.ndarray:
+        """Per-vector loop implementation of :meth:`to_dense` (for tests)."""
         dense = np.zeros((self.nrows, self.ncols_total), dtype=np.float32)
         n_blocks = self.nrows // self.l
         for b in range(n_blocks):

@@ -22,6 +22,13 @@ The compressed representation (Figure 3) consists of three arrays:
 the derived quantities the kernels need (absolute column indices, a
 condensed ``R x K/M*4`` view of the selected columns, the Figure-7 storage
 order, footprints).
+
+The derived views (:meth:`to_condensed`, :meth:`selected_column_indices`,
+:meth:`absolute_column_indices`, :meth:`packed_metadata`) are memoized per
+instance: the compressed arrays never change after construction, so every
+caller — the Spatha execution plan, the tiled simulation, repeated layer
+forwards — pays the derivation once.  The returned arrays are shared and
+must be treated as read-only.
 """
 
 from __future__ import annotations
@@ -109,6 +116,10 @@ class VNMSparseMatrix(SparseFormat):
             )
         if self.column_loc.size and (self.column_loc.min() < 0 or self.column_loc.max() >= self.m):
             raise ValueError(f"column_loc entries must lie in [0, M={self.m})")
+        # Memo for the derived views (and the kernels' execution plan).  The
+        # compressed arrays are immutable after construction, so the cache
+        # is only ever invalidated by constructing a new matrix.
+        self._memo: dict = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -204,8 +215,12 @@ class VNMSparseMatrix(SparseFormat):
         for every block the four selected columns are gathered side by side.
         The inner 2:4 structure is still present in this view (each group of
         four holds ``n`` non-zeros); it is the operand shape the SPTC
-        ultimately consumes after metadata expansion.
+        ultimately consumes after metadata expansion.  The result is
+        memoized; treat it as read-only.
         """
+        cached = self._memo.get("condensed")
+        if cached is not None:
+            return cached
         rows = self.values.shape[0]
         groups = self.k // self.m
         row_blocks = rows // self.v
@@ -213,7 +228,10 @@ class VNMSparseMatrix(SparseFormat):
         midx = self.m_indices.reshape(row_blocks, self.v, groups, self.n).astype(np.int64)
         selected = np.zeros((row_blocks, self.v, groups, SELECTED_COLUMNS), dtype=np.float32)
         np.put_along_axis(selected, midx, vals, axis=3)
-        return selected.reshape(rows, groups * SELECTED_COLUMNS)
+        condensed = selected.reshape(rows, groups * SELECTED_COLUMNS)
+        condensed.setflags(write=False)
+        self._memo["condensed"] = condensed
+        return condensed
 
     # ------------------------------------------------------------------
     # SparseFormat interface
@@ -259,7 +277,13 @@ class VNMSparseMatrix(SparseFormat):
         return 1.0 - self.n / self.m
 
     def absolute_column_indices(self) -> np.ndarray:
-        """Absolute column of every stored value, shape ``(R, K/M*N)``."""
+        """Absolute column of every stored value, shape ``(R, K/M*N)``.
+
+        Memoized; treat the result as read-only.
+        """
+        cached = self._memo.get("absolute_column_indices")
+        if cached is not None:
+            return cached
         rows = self.values.shape[0]
         groups = self.groups_per_row
         row_blocks = self.row_blocks
@@ -268,17 +292,38 @@ class VNMSparseMatrix(SparseFormat):
         cloc_b = np.broadcast_to(cloc[:, None, :, :], (row_blocks, self.v, groups, SELECTED_COLUMNS))
         abs_cols = np.take_along_axis(cloc_b, midx, axis=3)
         base = (np.arange(groups, dtype=np.int64) * self.m)[None, None, :, None]
-        return (abs_cols + base).reshape(rows, groups * self.n)
+        result = (abs_cols + base).reshape(rows, groups * self.n)
+        result.setflags(write=False)
+        self._memo["absolute_column_indices"] = result
+        return result
 
     def selected_column_indices(self) -> np.ndarray:
-        """Absolute columns chosen by the vector-wise stage, ``(R/V, K/M*4)``."""
+        """Absolute columns chosen by the vector-wise stage, ``(R/V, K/M*4)``.
+
+        Memoized; treat the result as read-only.
+        """
+        cached = self._memo.get("selected_column_indices")
+        if cached is not None:
+            return cached
         groups = self.groups_per_row
         base = np.repeat(np.arange(groups, dtype=np.int64) * self.m, SELECTED_COLUMNS)[None, :]
-        return self.column_loc.astype(np.int64) + base
+        result = self.column_loc.astype(np.int64) + base
+        result.setflags(write=False)
+        self._memo["selected_column_indices"] = result
+        return result
 
     def packed_metadata(self) -> np.ndarray:
-        """The 2-bit m-indices packed into uint32 words (row-major)."""
-        return pack_indices(self.m_indices.ravel())
+        """The 2-bit m-indices packed into uint32 words (row-major).
+
+        Memoized; treat the result as read-only.
+        """
+        cached = self._memo.get("packed_metadata")
+        if cached is not None:
+            return cached
+        result = pack_indices(self.m_indices.ravel())
+        result.setflags(write=False)
+        self._memo["packed_metadata"] = result
+        return result
 
     def storage_order_values(self, ws_m: int = 32, mma_k: int = 32) -> np.ndarray:
         """Linearise ``values`` in the Figure-7 storage order.
@@ -292,7 +337,34 @@ class VNMSparseMatrix(SparseFormat):
         consecutive stored values (8 bytes in fp16, i.e. half of a 128-bit
         transaction per thread pair) stay contiguous.  Returns a 1-D array
         that is a permutation of ``values.ravel()``.
+
+        The permutation is applied with a single pad-transpose-mask pass;
+        :meth:`storage_order_values_reference` retains the per-tile loop and
+        the two are asserted bit-equal in the tests.
         """
+        rows, stored = self.values.shape
+        if ws_m <= 0 or mma_k <= 0:
+            raise ValueError("ws_m and mma_k must be positive")
+        if rows == 0 or stored == 0:
+            return np.zeros(0, dtype=np.float32)
+        tile_rows = min(ws_m, rows)
+        chunk = 4  # stored values grouped per 64-bit half-transaction
+        rows_pad = -(-rows // tile_rows) * tile_rows
+        stored_pad = -(-stored // chunk) * chunk
+        padded = np.zeros((rows_pad, stored_pad), dtype=self.values.dtype)
+        padded[:rows, :stored] = self.values
+        real = np.zeros((rows_pad, stored_pad), dtype=bool)
+        real[:rows, :stored] = True
+
+        def linearise(arr: np.ndarray) -> np.ndarray:
+            tiles = arr.reshape(rows_pad // tile_rows, tile_rows, stored_pad // chunk, chunk)
+            return tiles.transpose(0, 2, 1, 3).ravel()
+
+        return linearise(padded)[linearise(real)]
+
+    def storage_order_values_reference(self, ws_m: int = 32, mma_k: int = 32) -> np.ndarray:
+        """Loop implementation of :meth:`storage_order_values` (kept as the
+        equivalence reference for the vectorized path)."""
         rows, stored = self.values.shape
         if ws_m <= 0 or mma_k <= 0:
             raise ValueError("ws_m and mma_k must be positive")

@@ -67,13 +67,29 @@ class SpmmLinear:
 
         Accepts activations of shape ``(..., in_features)``; padding added
         by the sparsifier on the K dimension is matched by zero-padding the
-        activations (zero rows contribute nothing to the product).
+        activations (zero rows contribute nothing to the product).  3-D
+        (and higher) activations go through the plan's batched ``(B, K, C)``
+        RHS path — the whole batch runs in one kernel call.
         """
         x = np.asarray(x, dtype=np.float32)
         if x.shape[-1] != self.in_features:
             raise ValueError(f"input feature dimension {x.shape[-1]} != {self.in_features}")
-        flat = x.reshape(-1, x.shape[-1])  # (tokens, in_features)
         padded_r, padded_k = self.weight.padded_shape
+        if x.ndim >= 3:
+            lead = x.shape[:-2]
+            seq = x.shape[-2]
+            x3 = x.reshape(-1, seq, x.shape[-1])
+            rhs = np.swapaxes(x3, 1, 2)  # (B, in_features, seq)
+            if padded_k != self.in_features:
+                padded = np.zeros((x3.shape[0], padded_k, seq), dtype=np.float32)
+                padded[:, : self.in_features] = rhs
+                rhs = padded
+            out = self.spatha.spmm(self.weight.matrix, rhs)  # (B, padded_r, seq)
+            out = out[:, : self.out_features]
+            if self.bias is not None:
+                out = out + self.bias.reshape(-1, 1)
+            return np.swapaxes(out, 1, 2).reshape(*lead, seq, self.out_features)
+        flat = x.reshape(-1, x.shape[-1])  # (tokens, in_features)
         rhs = flat.T
         if padded_k != self.in_features:
             rhs = np.zeros((padded_k, flat.shape[0]), dtype=np.float32)

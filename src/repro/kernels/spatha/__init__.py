@@ -3,7 +3,8 @@
 from .config import KernelConfig, candidate_configs, default_config
 from .library import Spatha
 from .perf_model import SPATHA_COMPUTE_EFFICIENCY, estimate_time, speedup_vs_dense, theoretical_speedup_cap
-from .spmm import spmm, spmm_dense_baseline, spmm_reference
+from .plan import SpmmPlan
+from .spmm import spmm, spmm_dense_baseline, spmm_loop_reference, spmm_reference
 from .stages import StageBreakdown, compute_stage_breakdown
 from .tiles import TileCounts, compute_tile_counts, condensed_k, iterate_output_tiles, iterate_warp_tiles, simulate_tiled_spmm
 from .tuner import SpathaTuner, TuningRecord
@@ -17,8 +18,10 @@ __all__ = [
     "estimate_time",
     "speedup_vs_dense",
     "theoretical_speedup_cap",
+    "SpmmPlan",
     "spmm",
     "spmm_dense_baseline",
+    "spmm_loop_reference",
     "spmm_reference",
     "StageBreakdown",
     "compute_stage_breakdown",

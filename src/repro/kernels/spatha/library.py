@@ -17,6 +17,7 @@ import numpy as np
 
 from .config import KernelConfig, default_config
 from .perf_model import estimate_time as _estimate_time
+from .plan import SpmmPlan
 from .spmm import spmm as _spmm
 from .spmm import spmm_reference
 from .tuner import SpathaTuner
@@ -74,8 +75,21 @@ class Spatha:
         bias: Optional[np.ndarray] = None,
         config: Optional[KernelConfig] = None,
     ) -> np.ndarray:
-        """Numerical SpMM result (``A @ B + bias``)."""
+        """Numerical SpMM result (``A @ B + bias``).
+
+        ``b`` may be ``(K, C)`` or a batch ``(B, K, C)``; execution reuses
+        the operand's memoized :class:`SpmmPlan`.
+        """
         return _spmm(a, b, bias=bias, config=config)
+
+    def plan(self, a: VNMSparseMatrix, config: Optional[KernelConfig] = None) -> SpmmPlan:
+        """The (memoized) batched execution plan for ``a``.
+
+        Building the plan ahead of time — e.g. for every sparse layer of a
+        model before serving — moves all operand preparation out of the
+        first forward pass.
+        """
+        return SpmmPlan.for_matrix(a, config=config)
 
     def run(
         self,

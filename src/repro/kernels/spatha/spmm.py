@@ -1,18 +1,23 @@
 """Functional V:N:M SpMM (the numerics of the Spatha kernel).
 
-Two execution paths are provided:
+Three execution paths are provided:
 
-* :func:`spmm` — the fast path: for every V-row block the four selected
-  columns of each M-group are gathered from B (exactly the stage-1 gather
-  the kernel performs using ``column_loc``) and a dense matmul over the
-  condensed operand produces the block's output rows.  This path exercises
-  the format's structures (``values``/``m_indices``/``column_loc``) rather
-  than simply densifying the operand.
+* :func:`spmm` — the fast path: a planned, batched schedule
+  (:class:`~repro.kernels.spatha.plan.SpmmPlan`) that prepares the condensed
+  operand, gather indices and packed metadata once per operand and then
+  executes every call without Python-level loops.  The RHS may be 2-D
+  ``(K, C)`` or a batch ``(B, K, C)``.
+* :func:`spmm_loop_reference` — the retained per-row-block loop of the seed
+  implementation: for every V-row block the four selected columns of each
+  M-group are gathered from B (exactly the stage-1 gather the kernel
+  performs using ``column_loc``) and a dense matmul over the condensed
+  operand produces the block's output rows.  The plan's ``gather`` strategy
+  is bit-identical to this path; tests assert the equivalence.
 * :func:`spmm_reference` — the semantic reference: decompress to dense and
-  multiply.  Tests assert both paths (and the tiled simulation in
+  multiply.  Tests assert all paths (and the tiled simulation in
   :mod:`repro.kernels.spatha.tiles`) agree to fp16 accumulation tolerance.
 
-Both paths use fp16 operand rounding with fp32 accumulation, matching
+All paths use fp16 operand rounding with fp32 accumulation, matching
 tensor-core numerics.
 """
 
@@ -22,7 +27,8 @@ from typing import Optional
 
 import numpy as np
 
-from .config import KernelConfig, default_config
+from .config import KernelConfig
+from .plan import SpmmPlan
 from ..common import reference_matmul_fp16
 from ...formats.vnm import VNMSparseMatrix
 
@@ -47,7 +53,9 @@ def spmm(
     a:
         The sparse LHS in V:N:M layout, logical shape ``(R, K)``.
     b:
-        Dense RHS of shape ``(K, C)``.
+        Dense RHS of shape ``(K, C)``, or a batch of RHS operands of shape
+        ``(B, K, C)`` (every slab multiplied by the same sparse operand in
+        one call — the whole-batch path of the transformer integration).
     bias:
         Optional length-``R`` bias added to every output column (the fused
         epilogue Spatha exposes through its PyTorch/STen integration).
@@ -59,15 +67,39 @@ def spmm(
     Returns
     -------
     np.ndarray
-        ``(R, C)`` float32 output with fp16-operand / fp32-accumulate
-        numerics.
+        ``(R, C)`` (or ``(B, R, C)``) float32 output with fp16-operand /
+        fp32-accumulate numerics.
+
+    Notes
+    -----
+    Execution goes through the memoized :class:`SpmmPlan` of ``a``:
+    preparation (condensed operand, gather indices, packed metadata) is paid
+    once per operand, and every call runs as batched array operations with
+    no Python loop over row blocks.
+    """
+    if not isinstance(a, VNMSparseMatrix):
+        raise TypeError("spatha.spmm expects a VNMSparseMatrix operand")
+    return SpmmPlan.for_matrix(a, config=config).execute(b, bias=bias)
+
+
+def spmm_loop_reference(
+    a: VNMSparseMatrix,
+    b: np.ndarray,
+    bias: Optional[np.ndarray] = None,
+    config: Optional[KernelConfig] = None,
+) -> np.ndarray:
+    """The seed per-row-block loop, retained as the equivalence reference.
+
+    Semantically identical to :func:`spmm` on a 2-D RHS; the plan's
+    ``gather`` strategy reproduces it bit-exactly.  Kept (and benchmarked in
+    ``benchmarks/run_bench.py``) so the vectorized engine always has a
+    ground truth and a speedup baseline.
     """
     if not isinstance(a, VNMSparseMatrix):
         raise TypeError("spatha.spmm expects a VNMSparseMatrix operand")
     b = np.asarray(b)
     if b.ndim != 2 or b.shape[0] != a.k:
         raise ValueError(f"B must have shape ({a.k}, C), got {b.shape}")
-    _ = config or default_config(a.v)
 
     b16 = np.asarray(b, dtype=np.float16).astype(np.float32)
     cond = np.asarray(a.to_condensed(), dtype=np.float16).astype(np.float32)  # (R, K/M*4)

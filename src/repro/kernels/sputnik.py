@@ -55,7 +55,49 @@ class SputnikConfig:
 
 
 def spmm(a_sparse: CSRMatrix, b: np.ndarray) -> np.ndarray:
-    """Functional CSR SpMM (fp16 operands, fp32 accumulation)."""
+    """Functional CSR SpMM (fp16 operands, fp32 accumulation).
+
+    Vectorized: the whole product runs as one compiled CSR gather/scatter
+    kernel (SciPy's ``csr_matmat``) — no Python loop over rows.  When SciPy
+    is unavailable the pure-NumPy segmented-reduction path is used instead.
+    :func:`spmm_loop_reference` retains the per-row loop; tests assert both
+    agree to fp16 accumulation tolerance (the summation order differs, so
+    agreement is tolerance-level, not bit-exact).
+    """
+    if not isinstance(a_sparse, CSRMatrix):
+        raise TypeError("sputnik.spmm expects a CSRMatrix operand")
+    b = np.asarray(b)
+    if b.ndim != 2 or b.shape[0] != a_sparse.ncols:
+        raise ValueError(f"B must have shape ({a_sparse.ncols}, C), got {b.shape}")
+    b16 = np.asarray(b, dtype=np.float16).astype(np.float32)
+    rows = a_sparse.shape[0]
+    if a_sparse.data.size == 0:
+        return np.zeros((rows, b.shape[1]), dtype=np.float32)
+    data16 = np.asarray(a_sparse.data, dtype=np.float16).astype(np.float32)
+    try:
+        from scipy.sparse import csr_matrix
+    except ImportError:  # pragma: no cover - scipy ships with the toolchain
+        return _spmm_segmented(a_sparse, data16, b16)
+    mat = csr_matrix((data16, a_sparse.indices, a_sparse.indptr), shape=a_sparse.shape)
+    return np.asarray(mat @ b16, dtype=np.float32)
+
+
+def _spmm_segmented(a_sparse: CSRMatrix, data16: np.ndarray, b16: np.ndarray) -> np.ndarray:
+    """Pure-NumPy fallback: batched gather-multiply + segmented reduction."""
+    rows = a_sparse.shape[0]
+    out = np.zeros((rows, b16.shape[1]), dtype=np.float32)
+    contrib = data16[:, None] * b16[a_sparse.indices]  # (nnz, C)
+    starts = a_sparse.indptr[:-1]
+    nonempty = a_sparse.indptr[1:] > starts
+    # reduceat over the starts of the non-empty rows: consecutive non-empty
+    # starts delimit exactly one row's non-zeros (empty rows contribute no
+    # elements in between).
+    out[nonempty] = np.add.reduceat(contrib, starts[nonempty].astype(np.intp), axis=0)
+    return out
+
+
+def spmm_loop_reference(a_sparse: CSRMatrix, b: np.ndarray) -> np.ndarray:
+    """Per-row loop CSR SpMM, retained as the equivalence reference."""
     if not isinstance(a_sparse, CSRMatrix):
         raise TypeError("sputnik.spmm expects a CSRMatrix operand")
     b = np.asarray(b)

@@ -131,11 +131,30 @@ class SparseLinear:
         return self.sparse_weight.logical_sparsity
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        """Apply the layer to ``x`` of shape ``(..., in_features)``."""
+        """Apply the layer to ``x`` of shape ``(..., in_features)``.
+
+        3-D (and higher) activations ``(..., seq, in_features)`` run through
+        the batched RHS path of the SpMM plan — one kernel call for the
+        whole batch; execution reuses the weight's memoized plan either way.
+        """
         x = np.asarray(x, dtype=np.float32)
+        if x.ndim >= 3:
+            lead = x.shape[:-2]
+            seq = x.shape[-2]
+            rhs = np.swapaxes(x.reshape(-1, seq, x.shape[-1]), 1, 2)  # (B, K, seq)
+            out = self.spatha.spmm(self.sparse_weight, rhs, bias=self.bias)  # (B, R, seq)
+            return np.swapaxes(out, 1, 2).reshape(*lead, seq, self.out_features)
         flat = x.reshape(-1, x.shape[-1])
         out = self.spatha.spmm(self.sparse_weight, flat.T, bias=self.bias).T
         return out.reshape(*x.shape[:-1], self.out_features)
+
+    def warm_plan(self) -> None:
+        """Build (and memoize) the weight's SpMM execution plan eagerly.
+
+        Serving paths call this once at load time so the first forward pass
+        does not pay operand preparation.
+        """
+        self.spatha.plan(self.sparse_weight)
 
     def gemm_problem(self, tokens: int) -> GemmProblem:
         """The sparse R x K x C problem this layer performs."""

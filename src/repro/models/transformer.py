@@ -135,10 +135,29 @@ class TransformerEncoder:
         return cls(config=config, layers=[EncoderLayer.init(config, index=i, seed=seed) for i in range(n)])
 
     def forward(self, hidden: np.ndarray) -> np.ndarray:
-        """Run the full stack on ``(batch, seq, hidden)`` activations."""
+        """Run the full stack on ``(batch, seq, hidden)`` activations.
+
+        Sparse layers execute whole batches through the batched RHS path of
+        their memoized SpMM plans (see :meth:`warm_spmm_plans`).
+        """
         for layer in self.layers:
             hidden = layer.forward(hidden)
         return hidden
+
+    def warm_spmm_plans(self) -> int:
+        """Eagerly build the SpMM execution plan of every sparse layer.
+
+        Operand preparation (condensed view, gather indices, packed
+        metadata) is memoized per weight, so warming moves all of it out of
+        the first forward pass — the serving-path analogue of Spatha's
+        one-time operand setup.  Returns the number of plans built.
+        """
+        warmed = 0
+        for _, lin in self.named_linear_layers():
+            if isinstance(lin, SparseLinear):
+                lin.warm_plan()
+                warmed += 1
+        return warmed
 
     def named_linear_layers(self) -> Iterator[Tuple[str, LinearLike]]:
         """Iterate over ``(qualified_name, layer)`` of every prunable layer."""

@@ -16,6 +16,13 @@ problem decomposes into
 
 This module implements both the V:N:M variant and the plain 1:N:M variant
 on top of a :class:`~repro.pruning.second_order.fisher.BlockFisher`.
+
+Both pruners are vectorized: every (row, group) — or (row-block, group,
+row) for V:N:M — sub-problem is assembled with reshaped block views and
+batched gathers from the Fisher inverse, and all groups are solved together
+by the stacked solvers in :mod:`repro.pruning.second_order.saliency`.  The
+original per-group loops are retained as ``*_reference`` functions and the
+tests assert both paths agree.
 """
 
 from __future__ import annotations
@@ -28,7 +35,7 @@ import numpy as np
 from ..masks import PruningResult, validate_weight_matrix
 from ...formats.vnm import SELECTED_COLUMNS, validate_vnm_shape
 from .fisher import BlockFisher, estimate_block_fisher, synthetic_gradients
-from .saliency import solve_group
+from .saliency import solve_group, solve_groups
 
 
 @dataclass
@@ -105,6 +112,61 @@ def second_order_nm_prune(
     Every row-wise group of ``m`` weights is solved independently with the
     configured solver.  With ``config.apply_update`` the OBS compensation
     is applied to the surviving weights of each group.
+
+    All ``rows * cols/M`` groups are gathered and solved in one batched
+    pass; :func:`second_order_nm_prune_reference` retains the per-group
+    loop.
+    """
+    w = validate_weight_matrix(weights)
+    rows, cols = w.shape
+    if n <= 0 or m <= 0 or n > m:
+        raise ValueError(f"invalid N:M pattern {n}:{m}")
+    if cols % m != 0:
+        raise ValueError(f"cols ({cols}) must be divisible by M ({m})")
+    config = config or SecondOrderConfig()
+    fisher = _resolve_fisher(w, m, config, grads, fisher)
+
+    groups = cols // m
+    # Flat start index of every (row, group) sub-problem, in the same
+    # (row-major) order the reference loop visits them.
+    flat_start = (
+        np.arange(rows, dtype=np.int64)[:, None] * cols
+        + np.arange(groups, dtype=np.int64)[None, :] * m
+    ).ravel()
+    w_groups = w.reshape(rows * groups, m)
+    f_inv = fisher.gather_submatrices(flat_start, np.arange(m, dtype=np.int64)[None, :])
+    pruned_sets, updates = solve_groups(
+        w_groups,
+        f_inv,
+        keep=n,
+        method=config.method,
+        combinatorial_limit=config.combinatorial_limit,
+    )
+
+    mask = np.ones(rows * cols, dtype=bool)
+    pruned_flat = flat_start[:, None] + pruned_sets
+    mask[pruned_flat.ravel()] = False
+    mask = mask.reshape(rows, cols)
+    if config.apply_update:
+        new_w = (w_groups + updates).reshape(rows, cols).copy()
+    else:
+        new_w = w.copy()
+    new_w[~mask] = 0.0
+    return PruningResult(mask=mask, pruned_weights=new_w, target_sparsity=1.0 - n / m)
+
+
+def second_order_nm_prune_reference(
+    weights: np.ndarray,
+    n: int = 2,
+    m: int = 4,
+    config: Optional[SecondOrderConfig] = None,
+    grads: Optional[np.ndarray] = None,
+    fisher: Optional[BlockFisher] = None,
+) -> PruningResult:
+    """Per-group loop implementation of :func:`second_order_nm_prune`.
+
+    Retained as the equivalence reference for the batched pruner (and as
+    the baseline of the pruning microbenchmarks).
     """
     w = validate_weight_matrix(weights)
     rows, cols = w.shape
@@ -159,9 +221,81 @@ def second_order_vnm_prune(
     column; the inner N:4 problem of every row is then solved with the
     configured group solver restricted to the four selected columns.
     ``v = 1`` falls back to :func:`second_order_nm_prune`.
+
+    The column-selection stage was already batched; the inner N:4 problems
+    of all ``R/V * K/M * V`` (row-block, group, row) triples are gathered
+    with one ``take_along_axis``-style pass and solved together.
+    :func:`second_order_vnm_prune_reference` retains the nested loops.
     """
     if v == 1:
         return second_order_nm_prune(weights, n=n, m=m, config=config, grads=grads, fisher=fisher)
+
+    w = validate_weight_matrix(weights)
+    rows, cols = w.shape
+    validate_vnm_shape(rows, cols, v, n, m)
+    config = config or SecondOrderConfig()
+    fisher = _resolve_fisher(w, m, config, grads, fisher)
+
+    inv_diag = fisher.diagonal()  # (rows, cols) diagonal of F^-1
+    obd_saliency = 0.5 * w**2 / np.clip(inv_diag, 1e-18, None)
+
+    row_blocks, groups = rows // v, cols // m
+
+    # Vector-wise stage: per (row-block, group) keep the 4 columns whose
+    # summed saliency (over the V rows) is largest.
+    sal_blocks = obd_saliency.reshape(row_blocks, v, groups, m).sum(axis=1)  # (R/V, K/M, M)
+    col_order = np.argsort(-sal_blocks, axis=2, kind="stable")[:, :, :SELECTED_COLUMNS]
+    col_order = np.sort(col_order, axis=2)
+
+    # Inner stage, batched: one sub-problem per (row-block, group, row).
+    rb_i = np.repeat(np.arange(row_blocks, dtype=np.int64), groups * v)
+    g_i = np.tile(np.repeat(np.arange(groups, dtype=np.int64), v), row_blocks)
+    r_i = rb_i * v + np.tile(np.arange(v, dtype=np.int64), row_blocks * groups)
+    cols_sel = col_order[rb_i, g_i]  # (G, 4) in-block column indices
+    abs_cols = cols_sel + (g_i * m)[:, None]
+    w_groups = w[r_i[:, None], abs_cols]
+    f_inv = fisher.gather_submatrices(r_i * cols + g_i * m, cols_sel)
+    pruned_sets, updates = solve_groups(
+        w_groups,
+        f_inv,
+        keep=n,
+        method=config.method,
+        combinatorial_limit=config.combinatorial_limit,
+    )
+
+    flat_cols = r_i[:, None] * cols + abs_cols  # (G, 4) flat weight indices
+    kept = np.ones(cols_sel.shape, dtype=bool)
+    kept[np.arange(kept.shape[0])[:, None], pruned_sets] = False
+    mask = np.zeros(rows * cols, dtype=bool)
+    mask[flat_cols[kept]] = True
+    mask = mask.reshape(rows, cols)
+
+    new_w = w.copy()
+    if config.apply_update:
+        new_w.reshape(-1)[flat_cols.ravel()] = (w_groups + updates).ravel()
+    new_w[~mask] = 0.0
+    return PruningResult(mask=mask, pruned_weights=new_w, target_sparsity=1.0 - n / m)
+
+
+def second_order_vnm_prune_reference(
+    weights: np.ndarray,
+    v: int,
+    n: int = 2,
+    m: int = 8,
+    config: Optional[SecondOrderConfig] = None,
+    grads: Optional[np.ndarray] = None,
+    fisher: Optional[BlockFisher] = None,
+) -> PruningResult:
+    """Nested-loop implementation of :func:`second_order_vnm_prune`.
+
+    Retained as the equivalence reference for the batched pruner (and as
+    the baseline of the pruning microbenchmarks).  ``v = 1`` falls back to
+    :func:`second_order_nm_prune_reference`.
+    """
+    if v == 1:
+        return second_order_nm_prune_reference(
+            weights, n=n, m=m, config=config, grads=grads, fisher=fisher
+        )
 
     w = validate_weight_matrix(weights)
     rows, cols = w.shape
