@@ -19,6 +19,7 @@ import numpy as np
 
 from .sparsifier import VNMSparsifier
 from .vnm_tensor import VNMTensor
+from ..kernels.dispatch import KernelDispatcher, SpmmOperand, default_dispatcher
 from ..kernels.spatha import Spatha
 from ..models.layers import DenseLinear, SparseLinear
 from ..models.transformer import TransformerEncoder
@@ -37,6 +38,13 @@ class SpmmLinear:
     bias: Optional[np.ndarray] = None
     name: str = "spmm_linear"
     spatha: Spatha = field(default_factory=Spatha)
+    dispatcher: Optional[KernelDispatcher] = None
+
+    def __post_init__(self) -> None:
+        self._operand = SpmmOperand.from_vnm(self.weight.matrix, name=self.name)
+
+    def _dispatcher(self) -> KernelDispatcher:
+        return self.dispatcher if self.dispatcher is not None else default_dispatcher()
 
     @classmethod
     def from_dense(
@@ -63,17 +71,20 @@ class SpmmLinear:
         return self.weight.shape[1]
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        """``y = spatha.spmm(values, columns, metadata, x, bias)``.
+        """``y = dispatch(weight)(x) + bias`` — Listing 1 through the registry.
 
         Accepts activations of shape ``(..., in_features)``; padding added
         by the sparsifier on the K dimension is matched by zero-padding the
         activations (zero rows contribute nothing to the product).  3-D
-        (and higher) activations go through the plan's batched ``(B, K, C)``
-        RHS path — the whole batch runs in one kernel call.
+        (and higher) activations go through the batched ``(B, K, C)`` RHS
+        path — the whole batch runs in one kernel call.  The backend is
+        chosen by the kernel dispatcher (Spatha's planned engine for the
+        V:N:M weight unless the cost model prefers the dense fallback).
         """
         x = np.asarray(x, dtype=np.float32)
         if x.shape[-1] != self.in_features:
             raise ValueError(f"input feature dimension {x.shape[-1]} != {self.in_features}")
+        dispatcher = self._dispatcher()
         padded_r, padded_k = self.weight.padded_shape
         if x.ndim >= 3:
             lead = x.shape[:-2]
@@ -84,7 +95,7 @@ class SpmmLinear:
                 padded = np.zeros((x3.shape[0], padded_k, seq), dtype=np.float32)
                 padded[:, : self.in_features] = rhs
                 rhs = padded
-            out = self.spatha.spmm(self.weight.matrix, rhs)  # (B, padded_r, seq)
+            out = dispatcher.execute(self._operand, rhs)  # (B, padded_r, seq)
             out = out[:, : self.out_features]
             if self.bias is not None:
                 out = out + self.bias.reshape(-1, 1)
@@ -94,7 +105,7 @@ class SpmmLinear:
         if padded_k != self.in_features:
             rhs = np.zeros((padded_k, flat.shape[0]), dtype=np.float32)
             rhs[: self.in_features] = flat.T
-        out = self.spatha.spmm(self.weight.matrix, rhs)  # (padded_r, tokens)
+        out = dispatcher.execute(self._operand, rhs)  # (padded_r, tokens)
         out = out[: self.out_features]
         if self.bias is not None:
             out = out + self.bias.reshape(-1, 1)
@@ -103,7 +114,11 @@ class SpmmLinear:
     def to_sparse_linear(self) -> SparseLinear:
         """Convert to the model-layer abstraction (for latency accounting)."""
         return SparseLinear(
-            sparse_weight=self.weight.matrix, bias=self.bias, name=self.name, spatha=self.spatha
+            sparse_weight=self.weight.matrix,
+            bias=self.bias,
+            name=self.name,
+            spatha=self.spatha,
+            dispatcher=self.dispatcher,
         )
 
 

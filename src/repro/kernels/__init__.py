@@ -7,10 +7,13 @@
 * :mod:`~repro.kernels.clasp` — column-vector sparse SpMM on tensor cores
   (vectorSparse / CLASP).
 * :mod:`~repro.kernels.spatha` — the paper's V:N:M SpMM library.
+* :mod:`~repro.kernels.dispatch` — the multi-backend dispatch registry that
+  picks among the libraries per (format, pattern, shape regime).
 """
 
-from . import clasp, cublas, cusparse, cusparselt, sputnik
+from . import clasp, cublas, cusparse, cusparselt, dispatch, sputnik
 from .common import GemmProblem, KernelResult, reference_matmul_fp16
+from .dispatch import KernelDispatcher, SpmmOperand, default_dispatcher
 from .spatha import Spatha
 
 __all__ = [
@@ -18,9 +21,13 @@ __all__ = [
     "cublas",
     "cusparse",
     "cusparselt",
+    "dispatch",
     "sputnik",
     "GemmProblem",
     "KernelResult",
     "reference_matmul_fp16",
+    "KernelDispatcher",
+    "SpmmOperand",
+    "default_dispatcher",
     "Spatha",
 ]

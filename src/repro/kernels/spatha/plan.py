@@ -28,7 +28,12 @@ CPU analogue of that preparation step:
 
 * the RHS may be 2-D ``(K, C)`` or batched 3-D ``(B, K, C)``; the batched
   form lets :mod:`repro.integration.linear` and the transformer layers run
-  whole activation batches in one call.
+  whole activation batches in one call.  Batched execution is *slab-exact*:
+  every slab of a 3-D batch is computed by the same stacked GEMMs a 2-D
+  call would issue, so ``execute(stack)[i]`` is bit-identical to
+  ``execute(stack[i])``.  The dynamic-batching serving layer
+  (:mod:`repro.serving`) relies on this to make batched request execution
+  provably equivalent to sequential per-request execution.
 """
 
 from __future__ import annotations
@@ -173,16 +178,11 @@ class SpmmPlan:
             # the correct formulation for non-finite inputs.
             strategy = "gather"
         if strategy == "dense":
+            # matmul broadcasts (R, K) @ (B, K, C) into one GEMM per slab,
+            # so each slab's result is bit-identical to its 2-D call.
             out = np.matmul(self.dense16, b16)
-        elif b16.ndim == 2:
-            out = self._execute_gather(b16)
         else:
-            # One kernel call for the whole batch: fold the batch into the
-            # output columns, run the 2-D schedule once, unfold.
-            batch, _, c = b16.shape
-            flat = np.moveaxis(b16, 0, 1).reshape(a.k, batch * c)
-            out = self._execute_gather(flat)
-            out = np.moveaxis(out.reshape(a.shape[0], batch, c), 1, 0)
+            out = self._execute_gather(b16)
 
         if bias is not None:
             r = a.shape[0]
@@ -193,18 +193,30 @@ class SpmmPlan:
         return out
 
     def _execute_gather(self, b16: np.ndarray) -> np.ndarray:
-        """Condensed-operand schedule: chunked gather + stacked matmul."""
+        """Condensed-operand schedule: chunked gather + stacked matmul.
+
+        ``b16`` may be ``(K, C)`` or ``(B, K, C)``.  The batched form
+        broadcasts the condensed row-block operands against a per-slab
+        gather, so every slab runs the exact GEMMs of its standalone 2-D
+        call (slab-bit-exactness; chunking does not change any per-block
+        GEMM, only how many are stacked per ``matmul`` dispatch).
+        """
         a = self.matrix
         r = a.shape[0]
-        c = b16.shape[1]
+        c = b16.shape[-1]
         v = a.v
         kc = self.condensed_k
         cond = self.condensed16.reshape(a.row_blocks, v, kc)
-        out = np.empty((r, c), dtype=np.float32)
-        out_blocks = out.reshape(a.row_blocks, v, c)
-        chunk = max(1, int(_GATHER_CHUNK_BYTES // max(1, kc * c * 4)))
+        batched = b16.ndim == 3
+        slabs = b16.shape[0] if batched else 1
+        out = np.empty((slabs, r, c), dtype=np.float32)
+        out_blocks = out.reshape(slabs, a.row_blocks, v, c)
+        chunk = max(1, int(_GATHER_CHUNK_BYTES // max(1, slabs * kc * c * 4)))
         for lo in range(0, a.row_blocks, chunk):
             hi = min(lo + chunk, a.row_blocks)
-            b_sel = b16[self.gather_indices[lo:hi]]  # (chunk, K/M*4, C)
-            np.matmul(cond[lo:hi], b_sel, out=out_blocks[lo:hi])
-        return out
+            if batched:
+                b_sel = b16[:, self.gather_indices[lo:hi]]  # (B, chunk, K/M*4, C)
+            else:
+                b_sel = b16[self.gather_indices[lo:hi]][None]  # (1, chunk, K/M*4, C)
+            np.matmul(cond[lo:hi], b_sel, out=out_blocks[:, lo:hi])
+        return out if batched else out[0]

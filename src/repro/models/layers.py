@@ -24,6 +24,7 @@ from ..formats.vnm import VNMSparseMatrix
 from ..hardware.spec import GPUSpec, rtx3090
 from ..kernels import cublas
 from ..kernels.common import GemmProblem, KernelResult, reference_matmul_fp16
+from ..kernels.dispatch import KernelDispatcher, SpmmOperand, default_dispatcher
 from ..kernels.spatha import Spatha
 from ..pruning.masks import apply_mask
 from ..pruning.vnm import vnm_mask
@@ -79,12 +80,21 @@ class DenseLinear:
 
 @dataclass
 class SparseLinear:
-    """A V:N:M-sparse linear layer executed through Spatha."""
+    """A V:N:M-sparse linear layer executed through the kernel dispatcher.
+
+    Execution routes through a :class:`~repro.kernels.dispatch.KernelDispatcher`
+    (the shared default unless one is injected), which ranks the registered
+    backends with the tuner/perf-model cost estimates; for a V:N:M weight
+    the candidates are Spatha's planned engine and the dense cuBLAS
+    fallback.  The ``spatha`` handle is kept for the performance-model
+    accounting (:meth:`kernel_result`).
+    """
 
     sparse_weight: VNMSparseMatrix
     bias: Optional[np.ndarray] = None
     name: str = "sparse_linear"
     spatha: Spatha = field(default_factory=Spatha)
+    dispatcher: Optional[KernelDispatcher] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.sparse_weight, VNMSparseMatrix):
@@ -93,6 +103,7 @@ class SparseLinear:
             self.bias = np.asarray(self.bias, dtype=np.float32)
             if self.bias.shape != (self.sparse_weight.shape[0],):
                 raise ValueError("bias must have shape (out_features,)")
+        self._operand = SpmmOperand.from_vnm(self.sparse_weight, name=self.name)
 
     @classmethod
     def from_dense(
@@ -130,22 +141,33 @@ class SparseLinear:
         """Logical sparsity of the weight (1 - N/M)."""
         return self.sparse_weight.logical_sparsity
 
+    @property
+    def operand(self) -> SpmmOperand:
+        """The dispatchable operand wrapping the sparse weight."""
+        return self._operand
+
+    def _dispatcher(self) -> KernelDispatcher:
+        return self.dispatcher if self.dispatcher is not None else default_dispatcher()
+
     def forward(self, x: np.ndarray) -> np.ndarray:
         """Apply the layer to ``x`` of shape ``(..., in_features)``.
 
-        3-D (and higher) activations ``(..., seq, in_features)`` run through
-        the batched RHS path of the SpMM plan — one kernel call for the
-        whole batch; execution reuses the weight's memoized plan either way.
+        Execution goes through the kernel dispatcher; 3-D (and higher)
+        activations ``(..., seq, in_features)`` run through the batched RHS
+        path — one kernel call for the whole batch, slab-bit-exact with the
+        per-sample calls — and the weight's memoized plan is reused either
+        way.
         """
         x = np.asarray(x, dtype=np.float32)
+        dispatcher = self._dispatcher()
         if x.ndim >= 3:
             lead = x.shape[:-2]
             seq = x.shape[-2]
             rhs = np.swapaxes(x.reshape(-1, seq, x.shape[-1]), 1, 2)  # (B, K, seq)
-            out = self.spatha.spmm(self.sparse_weight, rhs, bias=self.bias)  # (B, R, seq)
+            out = dispatcher.execute(self._operand, rhs, bias=self.bias)  # (B, R, seq)
             return np.swapaxes(out, 1, 2).reshape(*lead, seq, self.out_features)
         flat = x.reshape(-1, x.shape[-1])
-        out = self.spatha.spmm(self.sparse_weight, flat.T, bias=self.bias).T
+        out = dispatcher.execute(self._operand, flat.T, bias=self.bias).T
         return out.reshape(*x.shape[:-1], self.out_features)
 
     def warm_plan(self) -> None:
@@ -154,7 +176,7 @@ class SparseLinear:
         Serving paths call this once at load time so the first forward pass
         does not pay operand preparation.
         """
-        self.spatha.plan(self.sparse_weight)
+        self._dispatcher().warm(self._operand)
 
     def gemm_problem(self, tokens: int) -> GemmProblem:
         """The sparse R x K x C problem this layer performs."""

@@ -280,8 +280,43 @@ def synthetic_gradients(
     # First-order autoregressive smoothing introduces correlations between
     # neighbouring weights, giving the Fisher non-trivial off-diagonals.
     if correlation_decay > 0:
-        from scipy.signal import lfilter
-
         a = correlation_decay
-        base = lfilter([np.sqrt(1.0 - a * a)], [1.0, -a], base, axis=1)
+        try:
+            from scipy.signal import lfilter
+        except ImportError:
+            base = _ar1_filter(base, a)
+        else:
+            base = lfilter([np.sqrt(1.0 - a * a)], [1.0, -a], base, axis=1)
     return base * scale[None, :]
+
+
+def _ar1_filter(x: np.ndarray, a: float, block: int = 128) -> np.ndarray:
+    """AR(1) recursion ``y[i] = sqrt(1-a²)·x[i] + a·y[i-1]`` along axis 1.
+
+    Pure-NumPy fallback for ``scipy.signal.lfilter`` so the synthetic
+    gradient generator (and everything downstream: second-order pruning,
+    the Table 2 substitution, ``run_bench.py``) degrades gracefully when
+    SciPy is absent.  The recursion is unrolled block-wise with the closed
+    form ``y[i] = a^(i+1)·carry + Σ_{j<=i} a^(i-j)·b0·x[j]`` — one small
+    lower-triangular Toeplitz matmul per block instead of a per-element
+    Python loop — which stays numerically stable because the powers of
+    ``a`` never exceed the block length.
+    """
+    b0 = np.sqrt(1.0 - a * a)
+    n = x.shape[1]
+    idx = np.arange(min(block, n))
+    # T[i, j] = a^(i-j) for j <= i (the block's impulse-response matrix).
+    # The exponent is clamped to >= 0 before the mask so small decay values
+    # cannot overflow on the (discarded) upper triangle.
+    lag = np.maximum(idx[:, None] - idx[None, :], 0)
+    toeplitz = np.where(idx[:, None] >= idx[None, :], a ** lag, 0.0)
+    decay = a ** (idx + 1.0)
+    y = np.empty_like(x, dtype=np.float64)
+    carry = np.zeros(x.shape[0], dtype=np.float64)
+    for lo in range(0, n, block):
+        xb = x[:, lo : lo + block]
+        width = xb.shape[1]
+        yb = b0 * xb @ toeplitz[:width, :width].T + carry[:, None] * decay[None, :width]
+        y[:, lo : lo + width] = yb
+        carry = yb[:, -1]
+    return y

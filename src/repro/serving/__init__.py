@@ -1,0 +1,39 @@
+"""Dynamic-batching serving layer on top of the kernel dispatcher.
+
+This package turns the per-call SpMM machinery into a request-serving
+subsystem (the ROADMAP's "heavy traffic" direction):
+
+* :mod:`~repro.serving.batcher` — shape-bucketing dynamic batcher: requests
+  whose activation shapes fall into the same bucket are padded to the
+  bucket boundary and stacked into one batched 3-D RHS.
+* :mod:`~repro.serving.engine` — the execution front-end: drains the
+  batcher, runs each micro-batch through the warmed
+  :class:`~repro.kernels.dispatch.KernelDispatcher`, splits the batched
+  output back per request, and records modelled kernel executions into an
+  :class:`~repro.hardware.trace.ExecutionTrace`.
+* :mod:`~repro.serving.simulate` — throughput/latency simulator for
+  batch-window sweeps (requests/s vs window) on the modelled GPU.
+
+The core guarantee, property-tested end to end: batched execution of N
+compatible requests is bit-identical to N sequential single-request calls
+(the engine canonicalises every request to its bucket shape, and the
+dispatcher's batched path is slab-bit-exact).
+"""
+
+from .batcher import DEFAULT_TOKEN_BUCKETS, BucketKey, MicroBatch, Request, ShapeBucketBatcher
+from .engine import ServingEngine
+from .simulate import ServingSimReport, SimulatedRequest, simulate_serving, sweep_batch_windows, uniform_arrivals
+
+__all__ = [
+    "DEFAULT_TOKEN_BUCKETS",
+    "BucketKey",
+    "MicroBatch",
+    "Request",
+    "ShapeBucketBatcher",
+    "ServingEngine",
+    "ServingSimReport",
+    "SimulatedRequest",
+    "simulate_serving",
+    "sweep_batch_windows",
+    "uniform_arrivals",
+]

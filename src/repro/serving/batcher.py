@@ -1,0 +1,231 @@
+"""Shape-bucketing dynamic batcher.
+
+Inference traffic arrives as independent requests with ragged shapes (a
+translation request is 17 tokens, the next one 243).  GPUs want one big
+batched kernel.  The batcher bridges the two with the standard serving
+trick (e.g. Triton's dynamic batcher): token counts are rounded up to a
+small set of *bucket boundaries*, requests that land in the same bucket are
+zero-padded to the boundary and stacked into one ``(B, K, C_bucket)`` RHS,
+and the padding columns are trimmed away after execution.
+
+Determinism is a design requirement, not an accident: within a drain, the
+requests of a bucket are ordered by ``request_id`` (not arrival order), so
+the same set of requests produces the same stacked operands — and therefore
+bit-identical outputs — no matter how they were interleaved on arrival.
+Zero-padding never perturbs a request's own numbers because every request
+is *always* executed at its bucket shape, alone or batched; combined with
+the dispatcher's slab-bit-exact batched execution this makes "batched ==
+sequential" an exact identity, which the serving tests assert bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+#: Token-count boundaries of the default bucket ladder (powers of two up to
+#: a BERT-style maximum sequence length; larger requests get exact-shape
+#: buckets of their own).
+DEFAULT_TOKEN_BUCKETS: Tuple[int, ...] = (8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096)
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request: an activation matrix awaiting the sparse op.
+
+    ``activations`` has shape ``(tokens, features)`` — the layer-facing
+    layout; the batcher transposes into the kernel's ``(K, C)`` RHS form.
+    """
+
+    request_id: str
+    activations: np.ndarray
+    arrival_us: float = 0.0
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.activations, dtype=np.float32)
+        if arr.ndim != 2 or arr.shape[0] == 0:
+            raise ValueError(
+                f"activations must be (tokens >= 1, features), got {np.shape(self.activations)}"
+            )
+        object.__setattr__(self, "activations", arr)
+
+    @property
+    def tokens(self) -> int:
+        return self.activations.shape[0]
+
+    @property
+    def features(self) -> int:
+        return self.activations.shape[1]
+
+
+@dataclass(frozen=True)
+class BucketKey:
+    """Identity of a shape bucket: feature width x padded token count."""
+
+    features: int
+    token_bucket: int
+
+
+@dataclass
+class MicroBatch:
+    """A bucket's worth of requests, ready for one batched kernel call."""
+
+    key: BucketKey
+    requests: List[Request] = field(default_factory=list)
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.requests)
+
+    @property
+    def padded_tokens(self) -> int:
+        """Total padded token count (``B * token_bucket``) — the batched C."""
+        return self.batch_size * self.key.token_bucket
+
+    def stacked_rhs(self) -> np.ndarray:
+        """The batched RHS: ``(B, features, token_bucket)``.
+
+        Each request's activations are transposed to ``(K, C)`` and padded
+        with zero columns up to the bucket boundary.  Zero columns produce
+        zero output columns that :meth:`split_output` trims away; they never
+        touch the real columns (GEMM columns are independent).
+        """
+        key = self.key
+        rhs = np.zeros((self.batch_size, key.features, key.token_bucket), dtype=np.float32)
+        for i, req in enumerate(self.requests):
+            rhs[i, :, : req.tokens] = req.activations.T
+        return rhs
+
+    def split_output(self, out: np.ndarray) -> Dict[str, np.ndarray]:
+        """Split a batched ``(B, R, token_bucket)`` result back per request.
+
+        Returns ``{request_id: (tokens, R)}`` with the padding trimmed and
+        the layer-facing orientation restored.
+        """
+        out = np.asarray(out)
+        if out.ndim != 3 or out.shape[0] != self.batch_size:
+            raise ValueError(
+                f"expected a ({self.batch_size}, R, {self.key.token_bucket}) batched output, "
+                f"got {out.shape}"
+            )
+        return {
+            req.request_id: out[i, :, : req.tokens].T.copy()
+            for i, req in enumerate(self.requests)
+        }
+
+
+class ShapeBucketBatcher:
+    """Queue requests, drain them as deterministic shape-bucketed batches."""
+
+    def __init__(
+        self,
+        token_buckets: Tuple[int, ...] = DEFAULT_TOKEN_BUCKETS,
+        max_batch_size: int = 64,
+    ) -> None:
+        buckets = tuple(int(b) for b in token_buckets)
+        if not buckets or any(b <= 0 for b in buckets):
+            raise ValueError("token_buckets must be positive")
+        if any(a >= b for a, b in zip(buckets, buckets[1:])):
+            raise ValueError("token_buckets must be strictly increasing")
+        if max_batch_size <= 0:
+            raise ValueError("max_batch_size must be positive")
+        self.token_buckets = buckets
+        self.max_batch_size = max_batch_size
+        self._pending: List[Request] = []
+        self._seen_ids: set = set()
+
+    # ------------------------------------------------------------------
+    # Bucketing
+    # ------------------------------------------------------------------
+    def token_bucket(self, tokens: int) -> int:
+        """The padded token count for a request of ``tokens`` tokens.
+
+        The smallest bucket boundary >= ``tokens``; requests longer than
+        the last boundary are served at their exact length (an unpadded
+        singleton bucket per length).
+        """
+        if tokens <= 0:
+            raise ValueError("tokens must be positive")
+        for boundary in self.token_buckets:
+            if tokens <= boundary:
+                return boundary
+        return tokens
+
+    def bucket_key(self, request: Request) -> BucketKey:
+        """The bucket a request lands in."""
+        return BucketKey(features=request.features, token_bucket=self.token_bucket(request.tokens))
+
+    # ------------------------------------------------------------------
+    # Queue
+    # ------------------------------------------------------------------
+    def submit(self, request: Request) -> BucketKey:
+        """Enqueue one request; returns the bucket it will batch into."""
+        if not isinstance(request, Request):
+            raise TypeError("submit expects a Request")
+        if request.request_id in self._seen_ids:
+            raise ValueError(f"duplicate request_id {request.request_id!r} in this window")
+        self._seen_ids.add(request.request_id)
+        self._pending.append(request)
+        return self.bucket_key(request)
+
+    def submit_many(self, requests) -> None:
+        """Enqueue several requests atomically.
+
+        Validates the whole batch (types, duplicate ids — among themselves
+        and against the queue) before enqueueing anything, so a rejected
+        request never leaves earlier ones stranded in the queue.
+        """
+        batch = list(requests)
+        for request in batch:
+            if not isinstance(request, Request):
+                raise TypeError("submit_many expects Request instances")
+        ids = [r.request_id for r in batch]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate request_ids within the submitted batch")
+        clashes = self._seen_ids.intersection(ids)
+        if clashes:
+            raise ValueError(f"duplicate request_ids in this window: {sorted(clashes)}")
+        for request in batch:
+            self._seen_ids.add(request.request_id)
+            self._pending.append(request)
+
+    @property
+    def pending(self) -> int:
+        """Number of queued requests."""
+        return len(self._pending)
+
+    def plan_batches(self, items, key_of, id_of) -> List[Tuple[BucketKey, List]]:
+        """The batching policy, shared by :meth:`drain` and the simulator.
+
+        Groups ``items`` by ``key_of(item)``, orders each group by
+        ``id_of(item)``, chunks at ``max_batch_size`` and emits the chunks
+        in bucket-key order.  Deterministic: the same item set always plans
+        identically, regardless of arrival order.
+        """
+        by_bucket: Dict[BucketKey, List] = {}
+        for item in items:
+            by_bucket.setdefault(key_of(item), []).append(item)
+        batches: List[Tuple[BucketKey, List]] = []
+        for key in sorted(by_bucket, key=lambda k: (k.features, k.token_bucket)):
+            members = sorted(by_bucket[key], key=id_of)
+            for lo in range(0, len(members), self.max_batch_size):
+                batches.append((key, members[lo : lo + self.max_batch_size]))
+        return batches
+
+    def drain(self) -> List[MicroBatch]:
+        """Group everything queued into micro-batches and clear the queue.
+
+        Deterministic (see :meth:`plan_batches`): the same request set
+        always drains identically, regardless of arrival order.
+        """
+        pending = self._pending
+        self._pending = []
+        self._seen_ids = set()
+        return [
+            MicroBatch(key=key, requests=members)
+            for key, members in self.plan_batches(
+                pending, self.bucket_key, lambda r: r.request_id
+            )
+        ]

@@ -1,0 +1,168 @@
+"""The serving execution front-end.
+
+``ServingEngine`` glues the pieces into a request/response loop around one
+sparse operator (a pruned weight and optional bias — one ``SparseLinear``'s
+worth of work, which is what LLM serving fans out millions of times):
+
+1. requests are queued into the :class:`~repro.serving.batcher.ShapeBucketBatcher`;
+2. ``flush`` drains the queue into shape-bucketed micro-batches, executes
+   each as one batched 3-D kernel call through the (warmed)
+   :class:`~repro.kernels.dispatch.KernelDispatcher`, and splits the result
+   back per request;
+3. every batched call is also recorded into an
+   :class:`~repro.hardware.trace.ExecutionTrace` with the dispatched
+   backend's modelled time at the batch's true column count, so serving
+   runs produce the same trace records the evaluation harness aggregates.
+
+Because every request executes at its bucket shape and the dispatcher's
+batched path is slab-bit-exact, ``serve(requests)`` returns bit-identical
+outputs whether the requests arrive together, in any order, or one by one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence
+
+import numpy as np
+
+from .batcher import MicroBatch, Request, ShapeBucketBatcher
+from ..formats.vnm import VNMSparseMatrix
+from ..hardware.trace import ExecutionTrace
+from ..kernels.dispatch import KernelDispatcher, SpmmOperand, default_dispatcher
+
+
+class ServingEngine:
+    """Dynamic-batching server for one sparse linear operator.
+
+    Parameters
+    ----------
+    operand:
+        The sparse LHS, either an :class:`SpmmOperand` or a bare
+        :class:`VNMSparseMatrix` (wrapped automatically).
+    bias:
+        Optional output bias fused into every request's result.
+    dispatcher:
+        Kernel dispatcher to execute through (defaults to the shared
+        process-wide one).
+    batcher:
+        Shape-bucketing batcher (defaults to the standard bucket ladder).
+    warm:
+        When True (default) the operand's execution plan is built eagerly
+        so the first window does not pay operand preparation.
+    warm_buckets:
+        Token-bucket sizes whose dispatch decisions are pre-ranked at
+        construction, so the first request of those shapes also skips the
+        cost-model sweep (pass the bucket ladder you expect traffic on).
+    """
+
+    def __init__(
+        self,
+        operand,
+        bias: Optional[np.ndarray] = None,
+        dispatcher: Optional[KernelDispatcher] = None,
+        batcher: Optional[ShapeBucketBatcher] = None,
+        warm: bool = True,
+        warm_buckets: Sequence[int] = (),
+        name: str = "serving",
+    ) -> None:
+        if isinstance(operand, VNMSparseMatrix):
+            operand = SpmmOperand.from_vnm(operand, name=name)
+        if not isinstance(operand, SpmmOperand):
+            raise TypeError("operand must be an SpmmOperand or VNMSparseMatrix")
+        self.operand = operand
+        self.bias = None if bias is None else np.asarray(bias, dtype=np.float32)
+        self.dispatcher = dispatcher if dispatcher is not None else default_dispatcher()
+        self.batcher = batcher if batcher is not None else ShapeBucketBatcher()
+        self.name = name
+        self.trace = ExecutionTrace()
+        self.total_requests = 0
+        self.total_batches = 0
+        if warm:
+            self.dispatcher.warm(self.operand, cs=warm_buckets)
+
+    # ------------------------------------------------------------------
+    # Request intake
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_layer(cls, layer, **kwargs) -> "ServingEngine":
+        """Build an engine serving a :class:`~repro.models.layers.SparseLinear`."""
+        return cls(
+            operand=layer.operand,
+            bias=layer.bias,
+            dispatcher=kwargs.pop("dispatcher", layer.dispatcher),
+            name=kwargs.pop("name", layer.name),
+            **kwargs,
+        )
+
+    def submit(self, request: Request) -> None:
+        """Queue one request for the next flush."""
+        if request.features != self.operand.k:
+            raise ValueError(
+                f"request features ({request.features}) != operand K ({self.operand.k})"
+            )
+        self.batcher.submit(request)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _execute_batch(self, batch: MicroBatch) -> Dict[str, np.ndarray]:
+        rhs = batch.stacked_rhs()  # (B, K, C_bucket)
+        out = self.dispatcher.execute(self.operand, rhs, bias=self.bias)
+        decision = self.dispatcher.dispatch(self.operand, batch.key.token_bucket)
+        modelled = self.dispatcher.estimate(
+            self.operand, batch.padded_tokens, backend=decision.backend
+        )
+        execution = modelled.as_execution(category="gemm")
+        execution.meta.update(
+            {
+                "serving": self.name,
+                "backend": decision.backend,
+                "batch_size": batch.batch_size,
+                "token_bucket": batch.key.token_bucket,
+            }
+        )
+        self.trace.record(execution)
+        self.total_batches += 1
+        self.total_requests += batch.batch_size
+        return batch.split_output(out)
+
+    def flush(self) -> Dict[str, np.ndarray]:
+        """Execute everything queued; returns ``{request_id: output}``.
+
+        Outputs have shape ``(tokens, R)`` per request (padding trimmed).
+        """
+        results: Dict[str, np.ndarray] = {}
+        for batch in self.batcher.drain():
+            results.update(self._execute_batch(batch))
+        return results
+
+    def serve(self, requests: Iterable[Request]) -> Dict[str, np.ndarray]:
+        """Convenience: submit a window's worth of requests and flush.
+
+        Atomic on intake: the whole window is validated before anything is
+        queued, so a rejected request cannot strand earlier ones in the
+        queue to leak into an unrelated later flush.
+        """
+        batch = list(requests)
+        for request in batch:
+            if isinstance(request, Request) and request.features != self.operand.k:
+                raise ValueError(
+                    f"request features ({request.features}) != operand K ({self.operand.k})"
+                )
+        self.batcher.submit_many(batch)
+        return self.flush()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Counters + the modelled-kernel trace summary."""
+        return {
+            "requests": self.total_requests,
+            "batches": self.total_batches,
+            "mean_batch_size": (self.total_requests / self.total_batches)
+            if self.total_batches
+            else 0.0,
+            "modelled_kernel_time_us": self.trace.total_time_us,
+            "trace": self.trace.summary(),
+        }

@@ -1,0 +1,220 @@
+"""Throughput/latency simulation of the dynamic-batching server.
+
+The engine executes real numerics; this module answers the capacity
+question — *what does a batch window buy on the modelled GPU?* — without
+moving any data.  Requests are replayed against a windowed batching policy:
+arrivals inside ``[w*T, (w+1)*T)`` are closed into micro-batches at the
+window boundary, each micro-batch costs the dispatched backend's modelled
+kernel time at the batch's true column count, and a single serial executor
+(one GPU stream) drains the batches.  Every simulated launch is recorded as
+a :class:`~repro.hardware.trace.KernelExecution` so serving sweeps produce
+the same trace records as the figure-level evaluation harness.
+
+Larger windows trade queueing delay for kernel efficiency: the modelled
+SpMM time is strongly sublinear in C (fixed launch/tile overheads amortise,
+tiles fill), so batching B requests costs far less than B single calls.
+``sweep_batch_windows`` exposes exactly the requests/s-vs-window curve the
+ROADMAP asks sweeps to report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .batcher import BucketKey, ShapeBucketBatcher
+from ..hardware.trace import ExecutionTrace
+from ..kernels.dispatch import KernelDispatcher, SpmmOperand
+
+
+@dataclass(frozen=True)
+class SimulatedRequest:
+    """A request reduced to what the simulator needs: size and arrival."""
+
+    request_id: str
+    tokens: int
+    arrival_us: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.tokens <= 0:
+            raise ValueError("tokens must be positive")
+        if self.arrival_us < 0:
+            raise ValueError("arrival_us must be non-negative")
+
+
+def uniform_arrivals(
+    num_requests: int,
+    rate_rps: float,
+    tokens: Sequence[int],
+    prefix: str = "req",
+) -> List[SimulatedRequest]:
+    """Evenly spaced arrivals at ``rate_rps`` with cycling token counts."""
+    if num_requests <= 0:
+        raise ValueError("num_requests must be positive")
+    if rate_rps <= 0:
+        raise ValueError("rate_rps must be positive")
+    if not tokens:
+        raise ValueError("tokens must be non-empty")
+    gap_us = 1e6 / rate_rps
+    return [
+        SimulatedRequest(
+            request_id=f"{prefix}-{i:06d}",
+            tokens=int(tokens[i % len(tokens)]),
+            arrival_us=i * gap_us,
+        )
+        for i in range(num_requests)
+    ]
+
+
+@dataclass
+class ServingSimReport:
+    """Outcome of one simulated serving run."""
+
+    window_us: float
+    num_requests: int
+    num_batches: int
+    makespan_us: float
+    #: Completion latency (finish - arrival) per request, microseconds.
+    latencies_us: Dict[str, float] = field(default_factory=dict)
+    trace: ExecutionTrace = field(default_factory=ExecutionTrace)
+
+    @property
+    def throughput_rps(self) -> float:
+        """Served requests per second over the simulated makespan."""
+        if self.makespan_us <= 0:
+            return 0.0
+        return self.num_requests / (self.makespan_us * 1e-6)
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.num_requests / self.num_batches if self.num_batches else 0.0
+
+    @property
+    def mean_latency_us(self) -> float:
+        values = list(self.latencies_us.values())
+        return float(np.mean(values)) if values else 0.0
+
+    @property
+    def p95_latency_us(self) -> float:
+        values = list(self.latencies_us.values())
+        return float(np.percentile(values, 95)) if values else 0.0
+
+    @property
+    def kernel_time_us(self) -> float:
+        """Total modelled kernel time (the GPU-busy portion of the makespan)."""
+        return self.trace.total_time_us
+
+    def summary(self) -> Dict[str, object]:
+        """Flat record for tables/JSON (one row of the window sweep)."""
+        return {
+            "window_us": self.window_us,
+            "requests": self.num_requests,
+            "batches": self.num_batches,
+            "mean_batch_size": round(self.mean_batch_size, 2),
+            "throughput_rps": round(self.throughput_rps, 1),
+            "mean_latency_us": round(self.mean_latency_us, 1),
+            "p95_latency_us": round(self.p95_latency_us, 1),
+            "kernel_time_us": round(self.kernel_time_us, 1),
+        }
+
+
+def simulate_serving(
+    operand: SpmmOperand,
+    requests: Sequence[SimulatedRequest],
+    window_us: float,
+    dispatcher: Optional[KernelDispatcher] = None,
+    batcher: Optional[ShapeBucketBatcher] = None,
+) -> ServingSimReport:
+    """Replay ``requests`` through a windowed dynamic batcher on the model.
+
+    ``window_us <= 0`` means no batching: every request is dispatched alone
+    the moment it arrives (the per-request baseline of the sweeps).
+    """
+    dispatcher = dispatcher if dispatcher is not None else KernelDispatcher()
+    batcher = batcher if batcher is not None else ShapeBucketBatcher()
+    if not requests:
+        raise ValueError("requests must be non-empty")
+
+    trace = ExecutionTrace()
+    latencies: Dict[str, float] = {}
+    num_batches = 0
+    gpu_free_us = 0.0
+    makespan_us = 0.0
+
+    # Close windows at multiples of window_us (or per request when
+    # batching is disabled); within a closing, group with the batcher's
+    # deterministic bucketing.
+    if window_us <= 0:
+        closings: List[Tuple[float, List[SimulatedRequest]]] = [
+            (req.arrival_us, [req])
+            for req in sorted(requests, key=lambda r: (r.arrival_us, r.request_id))
+        ]
+    else:
+        grouped: Dict[int, List[SimulatedRequest]] = {}
+        for req in requests:
+            grouped.setdefault(int(req.arrival_us // window_us), []).append(req)
+        closings = [
+            ((w + 1) * window_us, members) for w, members in sorted(grouped.items())
+        ]
+
+    for close_us, members in closings:
+        # Exactly the real batcher's grouping policy (shared implementation),
+        # applied to the simulated requests.
+        planned = batcher.plan_batches(
+            members,
+            key_of=lambda r: BucketKey(
+                features=operand.k, token_bucket=batcher.token_bucket(r.tokens)
+            ),
+            id_of=lambda r: r.request_id,
+        )
+        for key, chunk in planned:
+            c_total = len(chunk) * key.token_bucket
+            decision = dispatcher.dispatch(operand, key.token_bucket)
+            modelled = dispatcher.estimate(operand, c_total, backend=decision.backend)
+            start_us = max(close_us, gpu_free_us)
+            finish_us = start_us + modelled.time_us
+            gpu_free_us = finish_us
+            makespan_us = max(makespan_us, finish_us)
+            num_batches += 1
+            execution = modelled.as_execution(category="gemm")
+            execution.meta.update(
+                {
+                    "backend": decision.backend,
+                    "batch_size": len(chunk),
+                    "token_bucket": key.token_bucket,
+                    "start_us": start_us,
+                }
+            )
+            trace.record(execution)
+            for req in chunk:
+                latencies[req.request_id] = finish_us - req.arrival_us
+
+    return ServingSimReport(
+        window_us=window_us,
+        num_requests=len(requests),
+        num_batches=num_batches,
+        makespan_us=makespan_us,
+        latencies_us=latencies,
+        trace=trace,
+    )
+
+
+def sweep_batch_windows(
+    operand: SpmmOperand,
+    requests: Sequence[SimulatedRequest],
+    windows_us: Sequence[float],
+    dispatcher: Optional[KernelDispatcher] = None,
+    batcher: Optional[ShapeBucketBatcher] = None,
+) -> List[ServingSimReport]:
+    """Requests/s vs batch window: one simulated run per window setting.
+
+    A shared dispatcher keeps the decision/tuner caches warm across the
+    sweep, mirroring a long-running server.
+    """
+    dispatcher = dispatcher if dispatcher is not None else KernelDispatcher()
+    return [
+        simulate_serving(operand, requests, window_us=w, dispatcher=dispatcher, batcher=batcher)
+        for w in windows_us
+    ]

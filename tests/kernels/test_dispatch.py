@@ -1,0 +1,275 @@
+"""Unit tests for the multi-backend dispatch registry."""
+
+import numpy as np
+import pytest
+
+from repro.formats.blocked_ell import BlockedEllMatrix
+from repro.formats.csr import CSRMatrix
+from repro.formats.vnm import VNMSparseMatrix
+from repro.kernels import cublas, sputnik
+from repro.kernels.dispatch import (
+    Backend,
+    CublasDenseBackend,
+    KernelDispatcher,
+    SpmmOperand,
+    default_dispatcher,
+)
+from repro.kernels.spatha import SpmmPlan
+from repro.pruning.masks import apply_mask
+from repro.pruning.vnm import vnm_mask
+
+
+@pytest.fixture
+def pruned(rng):
+    dense = rng.normal(size=(32, 64))
+    return apply_mask(dense, vnm_mask(dense, v=8, n=2, m=8)).astype(np.float32)
+
+
+@pytest.fixture
+def operand(pruned):
+    return SpmmOperand.from_dense(
+        pruned, formats=("vnm", "csr", "blocked_ell"), v=8, n=2, m=8, block_size=8
+    )
+
+
+class TestSpmmOperand:
+    def test_formats_and_pattern(self, operand):
+        assert operand.formats == ("blocked_ell", "csr", "dense", "vnm")
+        assert operand.pattern == (8, 2, 8)
+        assert operand.shape == (32, 64)
+
+    def test_allow_dense_false_excludes_fallback(self, pruned):
+        op = SpmmOperand.from_dense(pruned, formats=("csr",), allow_dense=False)
+        assert op.formats == ("csr",)
+
+    def test_dense_view_matches_stored_formats(self, operand, pruned):
+        assert np.allclose(operand.dense(), pruned, atol=1e-6)
+
+    def test_dense_view_memoized(self, operand):
+        assert operand.dense() is operand.dense()
+
+    def test_from_vnm(self, pruned):
+        vnm = VNMSparseMatrix.from_dense(pruned, v=8, n=2, m=8, strict=True)
+        op = SpmmOperand.from_vnm(vnm)
+        assert op.formats == ("dense", "vnm")
+        assert op.pattern == (8, 2, 8)
+
+    def test_sparsity_from_pattern_and_counts(self, pruned):
+        vnm_op = SpmmOperand.from_vnm(VNMSparseMatrix.from_dense(pruned, v=8, n=2, m=8))
+        assert vnm_op.sparsity() == pytest.approx(0.75)
+        csr_op = SpmmOperand.from_dense(pruned, formats=("csr",))
+        assert csr_op.sparsity() == pytest.approx(
+            1.0 - np.count_nonzero(pruned) / pruned.size
+        )
+
+    def test_rejects_empty_and_mismatched(self, pruned, rng):
+        with pytest.raises(ValueError):
+            SpmmOperand(allow_dense=False)
+        with pytest.raises(ValueError):
+            SpmmOperand(
+                csr=CSRMatrix.from_dense(pruned),
+                dense=rng.normal(size=(8, 8)).astype(np.float32),
+            )
+
+    def test_all_zero_operand_has_model_safe_sparsity(self):
+        op = SpmmOperand.from_dense(np.zeros((8, 16), dtype=np.float32), formats=("csr",))
+        assert op.sparsity() < 1.0
+        assert op.problem(4).sparsity < 1.0
+
+    def test_unknown_format_rejected(self, pruned):
+        with pytest.raises(ValueError):
+            SpmmOperand.from_dense(pruned, formats=("coo",))
+
+
+class TestDispatchDecisions:
+    def test_chosen_backend_is_cost_argmin(self, operand):
+        dispatcher = KernelDispatcher()
+        decision = dispatcher.dispatch(operand, 24)
+        assert set(decision.costs) == {
+            "spatha-plan",
+            "sputnik-csr",
+            "cusparse-blocked-ell",
+            "cublas-dense",
+        }
+        assert decision.backend == min(decision.costs, key=decision.costs.get)
+        assert decision.ranking[0][0] == decision.backend
+
+    def test_costs_match_direct_estimators(self, operand):
+        """The registry ranks with the same tuner/perf-model estimates a
+        caller would compute by hand."""
+        dispatcher = KernelDispatcher()
+        decision = dispatcher.dispatch(operand, 24)
+        assert decision.costs["sputnik-csr"] == pytest.approx(
+            sputnik.estimate_time(
+                operand.problem(24),
+                gpu=dispatcher.gpu,
+                load_imbalance=max(1.0, operand.csr.load_imbalance()),
+            ).time_us
+        )
+        assert decision.costs["cublas-dense"] == pytest.approx(
+            cublas.estimate_time(operand.problem(24), gpu=dispatcher.gpu).time_us
+        )
+
+    def test_decision_memoized_per_shape_bucket(self, operand):
+        dispatcher = KernelDispatcher()
+        d1 = dispatcher.dispatch(operand, 20)
+        assert dispatcher.dispatch(operand, 24) is d1  # same bucket (32)
+        d2 = dispatcher.dispatch(operand, 40)  # bucket 64
+        assert d2 is not d1
+        assert dispatcher.cache_size() == 2
+        dispatcher.clear_cache()
+        assert dispatcher.cache_size() == 0
+
+    def test_shape_bucket_boundaries(self):
+        assert KernelDispatcher.shape_bucket(1) == 1
+        assert KernelDispatcher.shape_bucket(32) == 32
+        assert KernelDispatcher.shape_bucket(33) == 64
+        with pytest.raises(ValueError):
+            KernelDispatcher.shape_bucket(0)
+
+    def test_signature_separates_formats_and_pattern(self, pruned):
+        dispatcher = KernelDispatcher()
+        a = SpmmOperand.from_dense(pruned, formats=("csr",))
+        b = SpmmOperand.from_dense(pruned, formats=("vnm",), v=8, n=2, m=8)
+        assert dispatcher.signature(a, 16) != dispatcher.signature(b, 16)
+
+    def test_same_shape_different_content_not_aliased(self, rng):
+        """Two same-shape operands with different sparsity must get their
+        own decisions on a SHARED dispatcher — each matching the argmin of
+        its own cost model (regression: the signature once omitted operand
+        content, so the second operand inherited the first's decision)."""
+        shape = (256, 256)
+        sparse_dense = (rng.normal(size=shape) * (rng.random(size=shape) < 0.01)).astype(
+            np.float32
+        )
+        dense_dense = (rng.normal(size=shape) * (rng.random(size=shape) < 0.95)).astype(
+            np.float32
+        )
+        nearly_empty = SpmmOperand.from_dense(sparse_dense, formats=("csr",))
+        nearly_full = SpmmOperand.from_dense(dense_dense, formats=("csr",))
+        shared = KernelDispatcher()
+        d1 = shared.dispatch(nearly_empty, 64)
+        d2 = shared.dispatch(nearly_full, 64)
+        assert d1 is not d2
+        for operand, decision in ((nearly_empty, d1), (nearly_full, d2)):
+            fresh_costs = {
+                name: shared.backend(name).estimate(operand, 64, shared.gpu).time_us
+                for name in decision.costs
+            }
+            assert decision.backend == min(fresh_costs, key=fresh_costs.get)
+            assert decision.costs == pytest.approx(fresh_costs)
+
+    def test_large_vnm_problem_prefers_spatha(self, rng):
+        dense = rng.normal(size=(1024, 2048))
+        pruned = apply_mask(dense, vnm_mask(dense, v=64, n=2, m=16)).astype(np.float32)
+        op = SpmmOperand.from_dense(pruned, formats=("vnm", "csr"), v=64, n=2, m=16)
+        decision = KernelDispatcher().dispatch(op, 4096)
+        assert decision.backend == "spatha-plan"
+
+    def test_no_supported_backend_raises(self, pruned):
+        dispatcher = KernelDispatcher(backends=[CublasDenseBackend()])
+        op = SpmmOperand.from_dense(pruned, formats=("csr",), allow_dense=False)
+        with pytest.raises(ValueError):
+            dispatcher.dispatch(op, 8)
+
+    def test_register_rejects_duplicates(self):
+        dispatcher = KernelDispatcher()
+        with pytest.raises(ValueError):
+            dispatcher.register(CublasDenseBackend())
+        with pytest.raises(KeyError):
+            dispatcher.backend("nonexistent")
+
+    def test_custom_backend_can_win(self, operand):
+        class FreeLunch(Backend):
+            name = "free-lunch"
+            format = "dense"
+
+            def estimate(self, operand, c, gpu):
+                result = CublasDenseBackend().estimate(operand, c, gpu)
+                result.cost.overhead_cycles = 0.0
+                result.cost.compute_cycles = 1e-9
+                result.cost.gmem_cycles = 0.0
+                result.cost.smem_cycles = 0.0
+                return result
+
+            def execute(self, operand, b):
+                return CublasDenseBackend().execute(operand, b)
+
+        dispatcher = KernelDispatcher()
+        dispatcher.register(FreeLunch())
+        assert dispatcher.dispatch(operand, 24).backend == "free-lunch"
+
+
+class TestDispatchedExecution:
+    def test_bias_epilogue_matches_plan(self, operand, rng):
+        b = rng.normal(size=(64, 12)).astype(np.float32)
+        bias = rng.normal(size=32).astype(np.float32)
+        dispatcher = KernelDispatcher()
+        with_bias = dispatcher.execute(operand, b, bias=bias)
+        without = dispatcher.execute(operand, b)
+        assert np.allclose(with_bias - without, bias[:, None], atol=1e-6)
+        with pytest.raises(ValueError):
+            dispatcher.execute(operand, b, bias=np.ones(31, dtype=np.float32))
+
+    def test_rhs_shape_validated(self, operand):
+        dispatcher = KernelDispatcher()
+        with pytest.raises(ValueError):
+            dispatcher.execute(operand, np.ones(64, dtype=np.float32))
+        with pytest.raises(ValueError):
+            dispatcher.execute(operand, np.ones((63, 4), dtype=np.float32))
+
+    @pytest.mark.parametrize("formats", [("vnm",), ("csr",), ("blocked_ell",)])
+    def test_batched_execution_is_slab_exact(self, pruned, rng, formats):
+        kwargs = dict(v=8, n=2, m=8) if "vnm" in formats else {}
+        op = SpmmOperand.from_dense(
+            pruned, formats=formats, block_size=8, allow_dense=False, **kwargs
+        )
+        dispatcher = KernelDispatcher()
+        batch = rng.normal(size=(3, 64, 10)).astype(np.float32)
+        out = dispatcher.execute(op, batch)
+        for i in range(3):
+            assert np.array_equal(out[i], dispatcher.execute(op, batch[i]))
+
+    def test_warm_builds_the_spatha_plan(self, pruned):
+        vnm = VNMSparseMatrix.from_dense(pruned, v=8, n=2, m=8)
+        op = SpmmOperand.from_vnm(vnm)
+        assert ("spmm_plan", "auto") not in vnm._memo
+        KernelDispatcher().warm(op)
+        assert isinstance(vnm._memo[("spmm_plan", "auto")], SpmmPlan)
+
+    def test_warm_prepopulates_dispatch_decisions(self, operand):
+        dispatcher = KernelDispatcher()
+        dispatcher.warm(operand, cs=(8, 64))
+        assert dispatcher.cache_size() == 2  # buckets 8 and 64 pre-ranked
+
+    def test_default_dispatcher_is_shared(self):
+        assert default_dispatcher() is default_dispatcher()
+
+    def test_nonfinite_rhs_demotes_dense_fallback(self):
+        """A non-finite B row outside the sparse structure's selection must
+        not leak NaN through the dense fallback (0 * inf) — the dispatcher
+        applies the same demotion SpmmPlan's dense strategy does."""
+        a_dense = np.zeros((8, 8), dtype=np.float32)
+        a_dense[:, 0] = 1.0  # only column 0 selected
+        vnm = VNMSparseMatrix.from_dense(a_dense, v=8, n=2, m=8, strict=True)
+        op = SpmmOperand.from_vnm(vnm)  # dense fallback allowed
+        b = np.ones((8, 4), dtype=np.float32)
+        b[5] = 1e6  # overflows fp16 -> inf, in an unselected row
+        dispatcher = KernelDispatcher()
+        out = dispatcher.execute(op, b)
+        assert np.isfinite(out).all()
+        from repro.kernels.spatha import spmm as spatha_spmm
+
+        assert np.array_equal(out, spatha_spmm(vnm, b))
+
+    def test_dense_only_operand_keeps_dense_on_nonfinite(self):
+        """With no sparse backend available the dense fallback still runs
+        (NaN is then the honest dense-math answer, same as cublas.gemm)."""
+        dense = np.zeros((4, 8), dtype=np.float32)
+        dense[0, 0] = 1.0
+        op = SpmmOperand(dense=dense)
+        b = np.full((8, 2), np.inf, dtype=np.float32)
+        out = KernelDispatcher().execute(op, b)
+        from repro.kernels import cublas
+
+        assert np.array_equal(out, cublas.gemm(dense, b), equal_nan=True)

@@ -1,0 +1,320 @@
+"""Serving-layer tests: batcher determinism, bucket boundaries, and the
+single-request == batched-request equivalence guarantee.
+
+The central property — batched execution of N compatible requests is
+bit-identical to N sequential single-request calls — is asserted with
+``np.array_equal`` (no tolerance): the engine canonicalises every request
+to its bucket shape and the dispatcher's batched path is slab-bit-exact, so
+equality must be exact.
+"""
+
+import numpy as np
+import pytest
+
+from repro.formats.vnm import VNMSparseMatrix
+from repro.hardware.trace import ExecutionTrace
+from repro.kernels.dispatch import KernelDispatcher, SpmmOperand
+from repro.pruning.masks import apply_mask
+from repro.pruning.vnm import vnm_mask
+from repro.serving import (
+    Request,
+    ServingEngine,
+    ShapeBucketBatcher,
+    SimulatedRequest,
+    simulate_serving,
+    sweep_batch_windows,
+    uniform_arrivals,
+)
+from repro.serving.batcher import BucketKey
+
+
+K_FEATURES = 128
+
+
+@pytest.fixture
+def vnm_weight(rng):
+    dense = rng.normal(size=(64, K_FEATURES))
+    pruned = apply_mask(dense, vnm_mask(dense, v=16, n=2, m=8)).astype(np.float32)
+    return VNMSparseMatrix.from_dense(pruned, v=16, n=2, m=8, strict=True)
+
+
+@pytest.fixture
+def bias(rng):
+    return rng.normal(size=64).astype(np.float32)
+
+
+def make_requests(rng, token_counts, prefix="req"):
+    return [
+        Request(f"{prefix}-{i:04d}", rng.normal(size=(t, K_FEATURES)).astype(np.float32))
+        for i, t in enumerate(token_counts)
+    ]
+
+
+def fresh_engine(vnm_weight, bias, **kwargs):
+    return ServingEngine(vnm_weight, bias=bias, dispatcher=KernelDispatcher(), **kwargs)
+
+
+class TestShapeBucketBatcher:
+    def test_token_bucket_rounds_up(self):
+        batcher = ShapeBucketBatcher(token_buckets=(8, 32, 128))
+        assert batcher.token_bucket(1) == 8
+        assert batcher.token_bucket(8) == 8
+        assert batcher.token_bucket(9) == 32
+        assert batcher.token_bucket(32) == 32
+        assert batcher.token_bucket(33) == 128
+
+    def test_tokens_beyond_last_bucket_get_exact_bucket(self):
+        batcher = ShapeBucketBatcher(token_buckets=(8, 32))
+        assert batcher.token_bucket(33) == 33
+        assert batcher.token_bucket(1000) == 1000
+
+    def test_boundary_edge_cases_split_buckets(self, rng):
+        """Requests at a boundary and one past it must land in different
+        buckets (they cannot stack without changing the padded shape)."""
+        batcher = ShapeBucketBatcher(token_buckets=(8, 32, 128))
+        reqs = make_requests(rng, [32, 33])
+        for r in reqs:
+            batcher.submit(r)
+        batches = batcher.drain()
+        assert len(batches) == 2
+        assert [b.key.token_bucket for b in batches] == [32, 128]
+
+    def test_same_bucket_requests_stack(self, rng):
+        batcher = ShapeBucketBatcher(token_buckets=(8, 32, 128))
+        reqs = make_requests(rng, [9, 17, 32])
+        for r in reqs:
+            batcher.submit(r)
+        batches = batcher.drain()
+        assert len(batches) == 1
+        assert batches[0].batch_size == 3
+        assert batches[0].key == BucketKey(features=K_FEATURES, token_bucket=32)
+        assert batcher.pending == 0
+
+    def test_drain_order_is_arrival_invariant(self, rng):
+        reqs = make_requests(rng, [5, 17, 17, 40, 70])
+        orders = [reqs, list(reversed(reqs)), [reqs[2], reqs[0], reqs[4], reqs[1], reqs[3]]]
+        drains = []
+        for order in orders:
+            batcher = ShapeBucketBatcher(token_buckets=(8, 32, 128))
+            for r in order:
+                batcher.submit(r)
+            drains.append(
+                [(b.key, [r.request_id for r in b.requests]) for b in batcher.drain()]
+            )
+        assert drains[0] == drains[1] == drains[2]
+
+    def test_max_batch_size_chunks(self, rng):
+        batcher = ShapeBucketBatcher(token_buckets=(16,), max_batch_size=2)
+        for r in make_requests(rng, [4, 4, 4, 4, 4]):
+            batcher.submit(r)
+        sizes = [b.batch_size for b in batcher.drain()]
+        assert sizes == [2, 2, 1]
+
+    def test_stacked_rhs_pads_and_split_trims(self, rng):
+        batcher = ShapeBucketBatcher(token_buckets=(8,))
+        reqs = make_requests(rng, [3, 8])
+        for r in reqs:
+            batcher.submit(r)
+        (batch,) = batcher.drain()
+        rhs = batch.stacked_rhs()
+        assert rhs.shape == (2, K_FEATURES, 8)
+        assert np.array_equal(rhs[0, :, :3], reqs[0].activations.T)
+        assert np.all(rhs[0, :, 3:] == 0.0)
+        out = rhs.transpose(0, 2, 1) @ np.zeros((K_FEATURES, 7), dtype=np.float32)
+        split = batch.split_output(out.transpose(0, 2, 1))
+        assert split["req-0000"].shape == (3, 7)
+        assert split["req-0001"].shape == (8, 7)
+
+    def test_duplicate_request_id_rejected(self, rng):
+        batcher = ShapeBucketBatcher()
+        (req,) = make_requests(rng, [4])
+        batcher.submit(req)
+        with pytest.raises(ValueError):
+            batcher.submit(req)
+        batcher.drain()
+        batcher.submit(req)  # a fresh window may reuse the id
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            ShapeBucketBatcher(token_buckets=())
+        with pytest.raises(ValueError):
+            ShapeBucketBatcher(token_buckets=(8, 8))
+        with pytest.raises(ValueError):
+            ShapeBucketBatcher(max_batch_size=0)
+        with pytest.raises(ValueError):
+            ShapeBucketBatcher().token_bucket(0)
+        with pytest.raises(ValueError):
+            Request("r", np.zeros((0, 4), dtype=np.float32))
+        with pytest.raises(TypeError):
+            ShapeBucketBatcher().submit("not a request")
+
+
+class TestServingEngineEquivalence:
+    def test_batched_equals_sequential_bitwise(self, rng, vnm_weight, bias):
+        """The acceptance property: N compatible requests executed in one
+        batched window == N sequential single-request calls, bit for bit."""
+        reqs = make_requests(rng, [5, 17, 17, 17, 30, 32])
+        batched = fresh_engine(vnm_weight, bias).serve(reqs)
+        sequential = {}
+        solo = fresh_engine(vnm_weight, bias)
+        for r in reqs:
+            sequential.update(solo.serve([r]))
+        assert set(batched) == set(sequential)
+        for rid in batched:
+            assert np.array_equal(batched[rid], sequential[rid]), rid
+
+    def test_outputs_match_direct_layer_math(self, rng, vnm_weight, bias):
+        """Per-request outputs equal the dispatcher's direct 2-D execution
+        of that request at its bucket shape, and are fp16-close to the
+        dense reference."""
+        reqs = make_requests(rng, [5, 17])
+        results = fresh_engine(vnm_weight, bias).serve(reqs)
+        dispatcher = KernelDispatcher()
+        operand = SpmmOperand.from_vnm(vnm_weight)
+        dense = vnm_weight.to_dense()
+        batcher = ShapeBucketBatcher()
+        for req in reqs:
+            bucket = batcher.token_bucket(req.tokens)
+            rhs = np.zeros((K_FEATURES, bucket), dtype=np.float32)
+            rhs[:, : req.tokens] = req.activations.T
+            direct = dispatcher.execute(operand, rhs, bias=bias)[:, : req.tokens].T
+            assert np.array_equal(results[req.request_id], direct)
+            reference = (
+                np.asarray(dense, dtype=np.float16).astype(np.float32)
+                @ np.asarray(req.activations.T, dtype=np.float16).astype(np.float32)
+            ).T + bias
+            assert np.allclose(results[req.request_id], reference, atol=5e-2, rtol=5e-3)
+
+    def test_arrival_order_does_not_change_outputs(self, rng, vnm_weight, bias):
+        reqs = make_requests(rng, [17, 5, 17, 30, 17, 64, 3])
+        orderings = [reqs, list(reversed(reqs)), sorted(reqs, key=lambda r: r.tokens)]
+        outputs = [fresh_engine(vnm_weight, bias).serve(order) for order in orderings]
+        for result in outputs[1:]:
+            assert set(result) == set(outputs[0])
+            for rid in result:
+                assert np.array_equal(result[rid], outputs[0][rid]), rid
+
+    def test_single_vs_many_windows_equivalent(self, rng, vnm_weight, bias):
+        """Splitting the same requests across several flush windows must not
+        change any output."""
+        reqs = make_requests(rng, [5, 17, 17, 30, 33, 64])
+        one_window = fresh_engine(vnm_weight, bias).serve(reqs)
+        engine = fresh_engine(vnm_weight, bias)
+        two_windows = dict(engine.serve(reqs[:3]))
+        two_windows.update(engine.serve(reqs[3:]))
+        for rid in one_window:
+            assert np.array_equal(one_window[rid], two_windows[rid]), rid
+
+    def test_trace_records_batched_kernels(self, rng, vnm_weight, bias):
+        engine = fresh_engine(vnm_weight, bias)
+        engine.serve(make_requests(rng, [17, 17, 17, 60]))
+        assert isinstance(engine.trace, ExecutionTrace)
+        assert engine.total_requests == 4
+        assert engine.total_batches == 2  # bucket 32 (x3) + bucket 64
+        assert len(engine.trace.executions) == 2
+        sizes = sorted(e.meta["batch_size"] for e in engine.trace.executions)
+        assert sizes == [1, 3]
+        assert engine.trace.total_time_us > 0
+        stats = engine.stats()
+        assert stats["requests"] == 4 and stats["batches"] == 2
+
+    def test_feature_mismatch_rejected(self, rng, vnm_weight):
+        engine = fresh_engine(vnm_weight, None)
+        with pytest.raises(ValueError):
+            engine.submit(Request("bad", rng.normal(size=(4, K_FEATURES + 1)).astype(np.float32)))
+
+    def test_serve_is_atomic_on_invalid_request(self, rng, vnm_weight):
+        """A rejected request must not strand earlier requests of the same
+        serve() call in the queue (they would leak into a later window)."""
+        engine = fresh_engine(vnm_weight, None)
+        good = make_requests(rng, [4])[0]
+        bad = Request("bad", rng.normal(size=(4, K_FEATURES + 1)).astype(np.float32))
+        with pytest.raises(ValueError):
+            engine.serve([good, bad])
+        assert engine.batcher.pending == 0
+        # The same requests can be resubmitted cleanly afterwards.
+        results = engine.serve([good])
+        assert set(results) == {good.request_id}
+        # Duplicate ids inside one window are also rejected atomically.
+        with pytest.raises(ValueError):
+            engine.serve([good, good])
+        assert engine.batcher.pending == 0
+
+    def test_for_layer_constructor(self, rng, vnm_weight, bias):
+        from repro.models.layers import SparseLinear
+
+        layer = SparseLinear(
+            sparse_weight=vnm_weight, bias=bias, dispatcher=KernelDispatcher()
+        )
+        engine = ServingEngine.for_layer(layer)
+        (req,) = make_requests(rng, [6])
+        out = engine.serve([req])[req.request_id]
+        assert np.allclose(out, layer.forward(req.activations), atol=1e-6)
+
+    def test_warm_prebuilds_plan(self, vnm_weight):
+        assert ("spmm_plan", "auto") not in vnm_weight._memo
+        fresh_engine(vnm_weight, None)
+        assert ("spmm_plan", "auto") in vnm_weight._memo
+
+
+class TestServingSimulation:
+    @pytest.fixture
+    def operand(self, vnm_weight):
+        return SpmmOperand.from_vnm(vnm_weight)
+
+    def test_report_accounting(self, operand):
+        reqs = uniform_arrivals(40, rate_rps=100000, tokens=[17, 33])
+        report = simulate_serving(operand, reqs, window_us=500.0)
+        assert report.num_requests == 40
+        assert report.num_batches <= 40
+        assert len(report.latencies_us) == 40
+        assert report.makespan_us > 0
+        assert report.throughput_rps > 0
+        assert report.kernel_time_us == pytest.approx(report.trace.total_time_us)
+        summary = report.summary()
+        assert summary["requests"] == 40
+
+    def test_batching_amortises_kernel_time(self, operand):
+        """More window -> fewer, bigger batches -> less total modelled
+        kernel time (the sublinear-in-C amortisation batching exists for)."""
+        reqs = uniform_arrivals(64, rate_rps=200000, tokens=[17])
+        per_request = simulate_serving(operand, reqs, window_us=0.0)
+        batched = simulate_serving(operand, reqs, window_us=2000.0)
+        assert per_request.num_batches == 64
+        assert batched.num_batches < 16
+        assert batched.kernel_time_us < per_request.kernel_time_us
+        assert batched.mean_batch_size > 4
+
+    def test_saturated_throughput_improves_with_window(self, operand):
+        """Under a backlog (all requests queued at t=0) batching must beat
+        per-request dispatch on requests/s."""
+        reqs = [SimulatedRequest(f"r{i:04d}", tokens=17, arrival_us=0.0) for i in range(128)]
+        per_request = simulate_serving(operand, reqs, window_us=0.0)
+        batched = simulate_serving(operand, reqs, window_us=50.0)
+        assert batched.throughput_rps > per_request.throughput_rps
+
+    def test_sweep_returns_one_report_per_window(self, operand):
+        reqs = uniform_arrivals(20, rate_rps=50000, tokens=[9, 17])
+        windows = [0.0, 200.0, 1000.0]
+        reports = sweep_batch_windows(operand, reqs, windows)
+        assert [r.window_us for r in reports] == windows
+
+    def test_trace_meta_records_backend_and_batch(self, operand):
+        reqs = uniform_arrivals(8, rate_rps=100000, tokens=[17])
+        report = simulate_serving(operand, reqs, window_us=1000.0)
+        for e in report.trace.executions:
+            assert e.category == "gemm"
+            assert e.meta["backend"] in {"spatha-plan", "cublas-dense"}
+            assert e.meta["batch_size"] >= 1
+
+    def test_validation(self, operand):
+        with pytest.raises(ValueError):
+            simulate_serving(operand, [], window_us=10.0)
+        with pytest.raises(ValueError):
+            SimulatedRequest("r", tokens=0)
+        with pytest.raises(ValueError):
+            uniform_arrivals(0, rate_rps=1.0, tokens=[4])
+        with pytest.raises(ValueError):
+            uniform_arrivals(4, rate_rps=0.0, tokens=[4])
+        with pytest.raises(ValueError):
+            uniform_arrivals(4, rate_rps=1.0, tokens=[])
