@@ -7,7 +7,11 @@ conservative speedup floor (the full-size numbers — including the 10x+
 in ``BENCH_engine.json``).
 """
 
+import os
+import subprocess
+import sys
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -100,3 +104,47 @@ def test_perf_second_order_vnm_vs_loop(run_once):
     # Typically >10x; the floor is deliberately loose so scheduler noise on
     # the single-core CI box cannot flake the gate.
     assert ref_t / vec_t > 1.5
+
+
+#: Wall-clock ceiling for the tier-1 serving subset.  The golden encoder
+#: matrix is deliberately split (full grid marked ``slow``, four-cell smoke
+#: subset in tier-1); this gate fails if the tier-1 slice creeps past the
+#: budget, e.g. because matrix cells lose their ``slow`` marker or grow
+#: expensive fixtures.
+SERVING_TIER1_BUDGET_S = 120.0
+
+
+def test_perf_serving_tier1_wallclock_budget(run_once):
+    """Run the tier-1 ``tests/serving`` subset end to end and time it.
+
+    Uses a subprocess so the measurement includes collection and fixture
+    cost (what CI actually pays) and so pytest.ini's default ``-m "not
+    slow"`` tier-1 selection applies; ``--durations`` is requested so a
+    budget breach names the slow tests in the captured output.
+    """
+    repo_root = Path(__file__).resolve().parent.parent
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(repo_root / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+
+    def run_subset():
+        t0 = time.perf_counter()
+        proc = subprocess.run(
+            [sys.executable, "-m", "pytest", "tests/serving", "-q", "--durations=5",
+             "-p", "no:cacheprovider"],
+            cwd=repo_root,
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=10 * 60,
+        )
+        return time.perf_counter() - t0, proc
+
+    elapsed, proc = run_once(run_subset)
+    assert proc.returncode == 0, f"tier-1 serving subset failed:\n{proc.stdout}\n{proc.stderr}"
+    assert "deselected" in proc.stdout  # the slow golden matrix stayed out
+    assert elapsed < SERVING_TIER1_BUDGET_S, (
+        f"tier-1 tests/serving took {elapsed:.1f}s (budget {SERVING_TIER1_BUDGET_S:.0f}s); "
+        f"slowest tests:\n{proc.stdout}"
+    )

@@ -18,6 +18,12 @@ workload shape — the BERT-large FFN output projection
 Run with::
 
     PYTHONPATH=src python examples/serving_throughput.py
+
+This is the *single-operator* view of serving (one FFN projection).  For
+the model-level successor — a whole BERT-large-configured encoder served
+through :class:`~repro.serving.model_engine.ModelServingEngine`, with
+cross-request plan-cache reuse and async arrival-deadline windows — see
+``examples/encoder_serving.py``.
 """
 
 from __future__ import annotations

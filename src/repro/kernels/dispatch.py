@@ -434,10 +434,25 @@ class KernelDispatcher:
     format, so dispatched results are bit-for-bit the direct-call results.
     """
 
-    def __init__(self, gpu: Optional[GPUSpec] = None, backends: Optional[Sequence[Backend]] = None) -> None:
+    def __init__(
+        self,
+        gpu: Optional[GPUSpec] = None,
+        backends: Optional[Sequence[Backend]] = None,
+        name: str = "",
+    ) -> None:
         self.gpu = gpu or rtx3090()
         self.backends: List[Backend] = list(backends) if backends is not None else default_backends()
+        #: Diagnostic label (serving engines set it to "<engine>.dispatcher");
+        #: prefixed onto dispatch errors so a multi-engine process can tell
+        #: whose dispatcher rejected an operand.
+        self.name = name
         self._decisions: Dict[Tuple, DispatchDecision] = {}
+        #: Decision-cache traffic counters: a hit is a ``dispatch`` call
+        #: answered from the memo, a miss one that ranked the backends.
+        #: Serving engines surface these on ``stats()`` to prove
+        #: cross-request reuse; they accumulate across ``clear_cache``.
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     # ------------------------------------------------------------------
     # Registry
@@ -495,19 +510,23 @@ class KernelDispatcher:
         """
         sig = self.signature(operand, c)
         decision = self._decisions.get(sig)
-        if decision is None:
-            costs: Dict[str, float] = {}
-            for backend in self.backends:
-                if not backend.supports(operand):
-                    continue
-                costs[backend.name] = backend.estimate(operand, c, self.gpu).time_us
-            if not costs:
-                raise ValueError(
-                    f"no registered backend supports formats {operand.formats}"
-                )
-            best = min(costs.items(), key=lambda kv: kv[1])[0]
-            decision = DispatchDecision(signature=sig, backend=best, costs=costs, decided_at_c=c)
-            self._decisions[sig] = decision
+        if decision is not None:
+            self.cache_hits += 1
+            return decision
+        self.cache_misses += 1
+        costs: Dict[str, float] = {}
+        for backend in self.backends:
+            if not backend.supports(operand):
+                continue
+            costs[backend.name] = backend.estimate(operand, c, self.gpu).time_us
+        if not costs:
+            raise ValueError(
+                f"{self.name or 'dispatcher'}: no registered backend supports "
+                f"formats {operand.formats}"
+            )
+        best = min(costs.items(), key=lambda kv: kv[1])[0]
+        decision = DispatchDecision(signature=sig, backend=best, costs=costs, decided_at_c=c)
+        self._decisions[sig] = decision
         return decision
 
     def estimate(self, operand: SpmmOperand, c: int, backend: Optional[str] = None) -> KernelResult:
@@ -541,21 +560,37 @@ class KernelDispatcher:
         b = _validate_rhs(operand, b)
         decision = self.dispatch(operand, b.shape[-1])
         chosen = decision.backend
-        if (
-            chosen == CublasDenseBackend.name
-            and len(decision.costs) > 1
-            and not _fp16_finite(b)
-        ):
+        out = None
+        if chosen == CublasDenseBackend.name and len(decision.costs) > 1:
             # Same guard as SpmmPlan's dense->gather demotion: the dense
             # fallback multiplies the decompressed operand's zeros against
             # every B row, so a non-finite value in a row the sparse
             # structure never selects would leak NaN (0 * inf) into the
             # output.  The sparse-format backends only touch stored
-            # entries, so route to the fastest of those instead.
-            chosen = next(
+            # entries, so route to the fastest of those instead.  The check
+            # is per *slab*: a slab's backend may depend only on its own
+            # values, otherwise one non-finite request in a serving
+            # micro-batch would flip its batchmates' backend and break the
+            # batched == sequential bit-exactness guarantee.
+            fallback = next(
                 name for name, _ in decision.ranking if name != CublasDenseBackend.name
             )
-        out = self.backend(chosen).execute(operand, b)
+            if b.ndim == 2:
+                if not _fp16_finite(b):
+                    chosen = fallback
+            else:
+                finite = [_fp16_finite(b[i]) for i in range(b.shape[0])]
+                if not all(finite):
+                    dense_backend = self.backend(chosen)
+                    sparse_backend = self.backend(fallback)
+                    out = np.stack(
+                        [
+                            (dense_backend if fin else sparse_backend).execute(operand, b[i])
+                            for i, fin in enumerate(finite)
+                        ]
+                    )
+        if out is None:
+            out = self.backend(chosen).execute(operand, b)
         if bias is not None:
             r = operand.r
             bias = np.asarray(bias, dtype=np.float32)
@@ -578,6 +613,21 @@ class KernelDispatcher:
         for c in cs:
             self.dispatch(operand, c)
 
+    def warm_many(self, operands: Sequence[SpmmOperand], cs: Sequence[int] = ()) -> int:
+        """Warm a whole model's worth of operands in one call.
+
+        The multi-operand form of :meth:`warm`: a model serving engine hands
+        over every sparse projection of its encoder plus the token buckets
+        it expects traffic on, and the dispatcher builds each operand's plan
+        and pre-ranks each (operand, bucket) signature.  Returns the number
+        of operands warmed.
+        """
+        count = 0
+        for operand in operands:
+            self.warm(operand, cs=cs)
+            count += 1
+        return count
+
     # ------------------------------------------------------------------
     # Cache management
     # ------------------------------------------------------------------
@@ -585,8 +635,21 @@ class KernelDispatcher:
         """Number of memoized dispatch decisions."""
         return len(self._decisions)
 
+    def cache_stats(self) -> Dict[str, int]:
+        """Decision-cache counters: entries held plus cumulative traffic."""
+        return {
+            "size": self.cache_size(),
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+        }
+
     def clear_cache(self) -> None:
-        """Drop all memoized decisions (backends keep their tuner caches)."""
+        """Drop all memoized decisions (backends keep their tuner caches).
+
+        The hit/miss counters are cumulative traffic statistics and survive
+        the clear (the next ``dispatch`` of a dropped signature counts as a
+        miss again).
+        """
         self._decisions.clear()
 
 

@@ -23,7 +23,12 @@ import numpy as np
 from ..formats.vnm import VNMSparseMatrix
 from ..hardware.spec import GPUSpec, rtx3090
 from ..kernels import cublas
-from ..kernels.common import GemmProblem, KernelResult, reference_matmul_fp16
+from ..kernels.common import (
+    GemmProblem,
+    KernelResult,
+    reference_matmul_fp16,
+    reference_matmul_fp16_batched,
+)
 from ..kernels.dispatch import KernelDispatcher, SpmmOperand, default_dispatcher
 from ..kernels.spatha import Spatha
 from ..pruning.masks import apply_mask
@@ -61,8 +66,22 @@ class DenseLinear:
         return self.weight.shape[1]
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        """Apply the layer to ``x`` of shape ``(..., in_features)``."""
+        """Apply the layer to ``x`` of shape ``(..., in_features)``.
+
+        3-D (and higher) activations run as a batched matmul over the
+        leading dims instead of one flattened GEMM, so the computation is
+        *slab-exact*: slab ``i`` of a batch produces the bits of the same
+        sequence forwarded alone.  Model-level serving batches same-length
+        sequences through every layer of an encoder and asserts batched ==
+        sequential bit for bit — which only holds if the dense layers are
+        slab-exact too, not just the dispatched sparse ones.
+        """
         x = np.asarray(x, dtype=np.float32)
+        if x.ndim >= 3:
+            out = reference_matmul_fp16_batched(x, self.weight.T)
+            if self.bias is not None:
+                out = out + self.bias
+            return out
         flat = x.reshape(-1, x.shape[-1])
         out = reference_matmul_fp16(self.weight, flat.T).T
         if self.bias is not None:

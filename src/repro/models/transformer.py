@@ -134,14 +134,28 @@ class TransformerEncoder:
             raise ValueError("num_layers must be positive")
         return cls(config=config, layers=[EncoderLayer.init(config, index=i, seed=seed) for i in range(n)])
 
-    def forward(self, hidden: np.ndarray) -> np.ndarray:
+    def forward(
+        self,
+        hidden: np.ndarray,
+        layer_hook: Optional[Callable[[int, np.ndarray], None]] = None,
+    ) -> np.ndarray:
         """Run the full stack on ``(batch, seq, hidden)`` activations.
 
         Sparse layers execute whole batches through the batched RHS path of
         their memoized SpMM plans (see :meth:`warm_spmm_plans`).
+
+        ``layer_hook`` is an observation point for per-layer
+        instrumentation: it is called as ``layer_hook(layer_index, hidden)``
+        with each block's *output* activations (read-only by convention),
+        so callers can inspect intermediate activations without re-running
+        the stack.  (The serving engine's per-layer trace does not need it
+        — modelled kernel times come from the layer metadata, not the
+        activations.)
         """
         for layer in self.layers:
             hidden = layer.forward(hidden)
+            if layer_hook is not None:
+                layer_hook(layer.index, hidden)
         return hidden
 
     def warm_spmm_plans(self) -> int:
@@ -158,6 +172,42 @@ class TransformerEncoder:
                 lin.warm_plan()
                 warmed += 1
         return warmed
+
+    def named_sparse_layers(self) -> Iterator[Tuple[str, SparseLinear]]:
+        """Iterate over the sparse projections only (the dispatchable ones)."""
+        for name, lin in self.named_linear_layers():
+            if isinstance(lin, SparseLinear):
+                yield name, lin
+
+    def set_dispatcher(self, dispatcher) -> int:
+        """Route every sparse layer through one injected kernel dispatcher.
+
+        This is how a serving engine scopes its caches: all sparse
+        projections of the encoder share the engine's dispatcher (one
+        decision cache, one tuner) instead of the process-wide default.
+        Returns the number of layers re-routed.
+        """
+        routed = 0
+        for _, lin in self.named_sparse_layers():
+            lin.dispatcher = dispatcher
+            routed += 1
+        return routed
+
+    def spmm_plan_registry(self) -> Dict[str, "SpmmPlan"]:
+        """Build (memoized) and return the per-layer SpMM plan registry.
+
+        One warmed :class:`~repro.kernels.spatha.SpmmPlan` per sparse
+        projection, keyed by the qualified layer name.  Plans are memoized
+        on the weight itself, so the registry is cheap to rebuild and every
+        consumer (forward passes, serving engines, benchmarks) shares the
+        same plan objects.
+        """
+        from ..kernels.spatha import SpmmPlan
+
+        return {
+            name: SpmmPlan.for_matrix(lin.sparse_weight)
+            for name, lin in self.named_sparse_layers()
+        }
 
     def named_linear_layers(self) -> Iterator[Tuple[str, LinearLike]]:
         """Iterate over ``(qualified_name, layer)`` of every prunable layer."""

@@ -11,28 +11,55 @@ subsystem (the ROADMAP's "heavy traffic" direction):
   :class:`~repro.kernels.dispatch.KernelDispatcher`, splits the batched
   output back per request, and records modelled kernel executions into an
   :class:`~repro.hardware.trace.ExecutionTrace`.
+* :mod:`~repro.serving.model_engine` — model-level serving:
+  :class:`ModelServingEngine` routes whole
+  :class:`~repro.models.transformer.TransformerEncoder` forward passes
+  through the dispatcher per micro-batch, with an engine-scoped plan
+  registry (cross-request reuse, hit/miss counters) and a per-layer
+  modelled trace.
 * :mod:`~repro.serving.simulate` — throughput/latency simulator for
-  batch-window sweeps (requests/s vs window) on the modelled GPU.
+  batch-window sweeps (requests/s vs window) on the modelled GPU, with
+  fixed-grid or async arrival-deadline window closing.
 
 The core guarantee, property-tested end to end: batched execution of N
-compatible requests is bit-identical to N sequential single-request calls
-(the engine canonicalises every request to its bucket shape, and the
-dispatcher's batched path is slab-bit-exact).
+compatible requests is bit-identical to N sequential single-request calls —
+per operator (the engine canonicalises every request to its bucket shape,
+and the dispatcher's batched path is slab-bit-exact) *and* per model (the
+model engine stacks same-length sequences only, and every operator of the
+encoder is slab-exact over the batch dimension).
 """
 
-from .batcher import DEFAULT_TOKEN_BUCKETS, BucketKey, MicroBatch, Request, ShapeBucketBatcher
+from .batcher import (
+    DEFAULT_TOKEN_BUCKETS,
+    AsyncWindowBatcher,
+    BucketKey,
+    MicroBatch,
+    Request,
+    ShapeBucketBatcher,
+)
 from .engine import ServingEngine
-from .simulate import ServingSimReport, SimulatedRequest, simulate_serving, sweep_batch_windows, uniform_arrivals
+from .model_engine import ModelServingEngine
+from .simulate import (
+    ServingSimReport,
+    SimulatedRequest,
+    plan_async_closings,
+    simulate_serving,
+    sweep_batch_windows,
+    uniform_arrivals,
+)
 
 __all__ = [
     "DEFAULT_TOKEN_BUCKETS",
+    "AsyncWindowBatcher",
     "BucketKey",
     "MicroBatch",
+    "ModelServingEngine",
     "Request",
     "ShapeBucketBatcher",
     "ServingEngine",
     "ServingSimReport",
     "SimulatedRequest",
+    "plan_async_closings",
     "simulate_serving",
     "sweep_batch_windows",
     "uniform_arrivals",

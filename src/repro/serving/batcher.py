@@ -21,7 +21,7 @@ sequential" an exact identity, which the serving tests assert bit for bit.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -98,6 +98,39 @@ class MicroBatch:
             rhs[i, :, : req.tokens] = req.activations.T
         return rhs
 
+    def stacked_activations(self) -> np.ndarray:
+        """The batched layer-facing activations: ``(B, token_bucket, features)``.
+
+        The model-serving layout (sequences stay un-transposed): each
+        request's ``(tokens, features)`` activations occupy the leading rows
+        of its slab, zero-padded down to the bucket boundary.  Model engines
+        use exact-length buckets (``tokens == token_bucket``), where no
+        padding rows exist at all — zero rows would *not* be
+        numerics-neutral through attention's softmax.
+        """
+        key = self.key
+        out = np.zeros((self.batch_size, key.token_bucket, key.features), dtype=np.float32)
+        for i, req in enumerate(self.requests):
+            out[i, : req.tokens] = req.activations
+        return out
+
+    def split_hidden(self, out: np.ndarray) -> Dict[str, np.ndarray]:
+        """Split a batched ``(B, token_bucket, features_out)`` result per request.
+
+        The model-serving inverse of :meth:`stacked_activations`: trims the
+        padding rows and returns ``{request_id: (tokens, features_out)}``.
+        """
+        out = np.asarray(out)
+        if out.ndim != 3 or out.shape[:2] != (self.batch_size, self.key.token_bucket):
+            raise ValueError(
+                f"expected a ({self.batch_size}, {self.key.token_bucket}, F) batched output, "
+                f"got {out.shape}"
+            )
+        return {
+            req.request_id: out[i, : req.tokens].copy()
+            for i, req in enumerate(self.requests)
+        }
+
     def split_output(self, out: np.ndarray) -> Dict[str, np.ndarray]:
         """Split a batched ``(B, R, token_bucket)`` result back per request.
 
@@ -135,6 +168,21 @@ class ShapeBucketBatcher:
         self.max_batch_size = max_batch_size
         self._pending: List[Request] = []
         self._seen_ids: set = set()
+
+    @classmethod
+    def exact_length(cls, max_batch_size: int = 64, **kwargs) -> "ShapeBucketBatcher":
+        """A batcher that only stacks requests of *identical* token counts.
+
+        With the ladder collapsed to ``(1,)`` every token count above 1 is
+        its own exact singleton bucket, so no request is ever padded.  This
+        is the policy model-level serving needs: an encoder's attention and
+        LayerNorm mix information *across* the tokens of a sequence, so
+        zero-padding a sequence would perturb the real tokens (padded keys
+        enter the softmax denominators) — unlike the single-operator case,
+        where padded columns are independent.  Works for subclasses too
+        (``AsyncWindowBatcher.exact_length(window_us=...)``).
+        """
+        return cls(token_buckets=(1,), max_batch_size=max_batch_size, **kwargs)
 
     # ------------------------------------------------------------------
     # Bucketing
@@ -229,3 +277,76 @@ class ShapeBucketBatcher:
                 pending, self.bucket_key, lambda r: r.request_id
             )
         ]
+
+
+class AsyncWindowBatcher(ShapeBucketBatcher):
+    """Shape-bucketing batcher with arrival-deadline window closing.
+
+    The fixed-window policy closes every bucket at multiples of the window
+    length regardless of when its requests actually arrived.  This batcher
+    closes each *bucket* asynchronously instead: a bucket's window opens
+    when its oldest pending request arrives (``Request.arrival_us``) and the
+    whole bucket closes once that request has waited ``window_us`` of
+    simulated wall-clock time — deadlines track arrivals, not batch counts
+    or a global grid, so a lone straggler is never held hostage to traffic
+    in other buckets.
+
+    The serving engines drive it with ``poll(now_us)``; numerics are
+    untouched — a closed bucket drains through the exact same deterministic
+    :meth:`ShapeBucketBatcher.plan_batches` policy, so per-request outputs
+    stay invariant to arrival order *and* to the window size (the async
+    property test pins this bit for bit).
+    """
+
+    def __init__(
+        self,
+        token_buckets: Tuple[int, ...] = DEFAULT_TOKEN_BUCKETS,
+        max_batch_size: int = 64,
+        window_us: float = 1000.0,
+    ) -> None:
+        super().__init__(token_buckets=token_buckets, max_batch_size=max_batch_size)
+        if window_us < 0:
+            raise ValueError("window_us must be non-negative")
+        self.window_us = float(window_us)
+
+    def due_keys(self, now_us: float) -> List[BucketKey]:
+        """Buckets whose oldest request's deadline has passed at ``now_us``."""
+        oldest: Dict[BucketKey, float] = {}
+        for req in self._pending:
+            key = self.bucket_key(req)
+            oldest[key] = min(oldest.get(key, float("inf")), req.arrival_us)
+        return sorted(
+            (k for k, arrival in oldest.items() if arrival + self.window_us <= now_us),
+            key=lambda k: (k.features, k.token_bucket),
+        )
+
+    def drain_due(self, now_us: float) -> List[MicroBatch]:
+        """Drain only the buckets that are due at ``now_us``.
+
+        Requests in buckets whose deadline has not yet passed stay queued
+        (and keep their window-unique ids); a full :meth:`drain` at shutdown
+        flushes whatever remains.
+        """
+        due = set(self.due_keys(now_us))
+        if not due:
+            return []
+        taken = [r for r in self._pending if self.bucket_key(r) in due]
+        self._pending = [r for r in self._pending if self.bucket_key(r) not in due]
+        for req in taken:
+            self._seen_ids.discard(req.request_id)
+        return [
+            MicroBatch(key=key, requests=members)
+            for key, members in self.plan_batches(
+                taken, self.bucket_key, lambda r: r.request_id
+            )
+        ]
+
+    def next_deadline_us(self) -> Optional[float]:
+        """The earliest pending close time (``None`` when the queue is empty).
+
+        Drivers (the engines' run loops, the simulator) advance their clock
+        to this instant to close windows exactly on schedule.
+        """
+        if not self._pending:
+            return None
+        return min(r.arrival_us for r in self._pending) + self.window_us

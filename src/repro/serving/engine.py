@@ -31,7 +31,54 @@ from ..hardware.trace import ExecutionTrace
 from ..kernels.dispatch import KernelDispatcher, SpmmOperand, default_dispatcher
 
 
-class ServingEngine:
+class AsyncDriverMixin:
+    """The async window drivers shared by the serving engines.
+
+    Host classes provide ``batcher``, ``submit`` and ``_execute_batch``;
+    the mixin turns a deadline-aware batcher
+    (:class:`~repro.serving.batcher.AsyncWindowBatcher`) into a polling
+    loop.  Window timing only changes *when* a request executes, never its
+    numbers, so outputs stay bit-identical to a single-window ``serve`` of
+    the same request set.
+    """
+
+    def poll(self, now_us: float) -> Dict[str, np.ndarray]:
+        """Execute only the async windows that are due at ``now_us``.
+
+        Buckets whose oldest request has not yet waited out the window stay
+        queued for a later poll (or a final ``flush``).
+        """
+        drain_due = getattr(self.batcher, "drain_due", None)
+        if drain_due is None:
+            raise TypeError(
+                "poll() needs a deadline-aware batcher (AsyncWindowBatcher); "
+                "use flush() with a plain ShapeBucketBatcher"
+            )
+        results: Dict[str, np.ndarray] = {}
+        for batch in drain_due(now_us):
+            results.update(self._execute_batch(batch))
+        return results
+
+    def serve_arrivals(self, requests: Iterable[Request]) -> Dict[str, np.ndarray]:
+        """Replay requests against their arrival clock through async windows.
+
+        Each request is submitted at its ``arrival_us`` (closing any windows
+        due by then), and the remaining deadlines are polled once arrivals
+        are exhausted.
+        """
+        results: Dict[str, np.ndarray] = {}
+        for request in sorted(requests, key=lambda r: (r.arrival_us, r.request_id)):
+            results.update(self.poll(request.arrival_us))
+            self.submit(request)
+        while True:
+            deadline = self.batcher.next_deadline_us()
+            if deadline is None:
+                break
+            results.update(self.poll(deadline))
+        return results
+
+
+class ServingEngine(AsyncDriverMixin):
     """Dynamic-batching server for one sparse linear operator.
 
     Parameters
@@ -85,9 +132,23 @@ class ServingEngine:
     # ------------------------------------------------------------------
     @classmethod
     def for_layer(cls, layer, **kwargs) -> "ServingEngine":
-        """Build an engine serving a :class:`~repro.models.layers.SparseLinear`."""
+        """Build an engine serving a :class:`~repro.models.layers.SparseLinear`.
+
+        Rejects layer types without a dispatchable operand up front (a
+        ``DenseLinear`` used to die later with an opaque ``AttributeError``)
+        and stamps the layer's input width on the engine so mismatched
+        requests fail at intake with a readable message instead of deep
+        inside the kernel with a broadcast error.
+        """
+        operand = getattr(layer, "operand", None)
+        if not isinstance(operand, SpmmOperand):
+            raise TypeError(
+                f"for_layer needs a layer exposing a dispatchable SpmmOperand "
+                f"(e.g. SparseLinear), got {type(layer).__name__}; wrap dense "
+                f"layers' weights in an SpmmOperand and use ServingEngine(...) directly"
+            )
         return cls(
-            operand=layer.operand,
+            operand=operand,
             bias=layer.bias,
             dispatcher=kwargs.pop("dispatcher", layer.dispatcher),
             name=kwargs.pop("name", layer.name),
@@ -106,6 +167,15 @@ class ServingEngine:
     # Execution
     # ------------------------------------------------------------------
     def _execute_batch(self, batch: MicroBatch) -> Dict[str, np.ndarray]:
+        if batch.key.features != self.operand.k:
+            # Requests that bypassed submit() (queued straight on the
+            # batcher) used to surface here as an opaque broadcast error
+            # deep inside the chosen kernel.
+            raise ValueError(
+                f"{self.name}: micro-batch feature width ({batch.key.features}) does not "
+                f"match the served layer's input width (operand K = {self.operand.k}); "
+                f"submit requests with activations of shape (tokens, {self.operand.k})"
+            )
         rhs = batch.stacked_rhs()  # (B, K, C_bucket)
         out = self.dispatcher.execute(self.operand, rhs, bias=self.bias)
         decision = self.dispatcher.dispatch(self.operand, batch.key.token_bucket)

@@ -1,0 +1,294 @@
+"""Model-level serving: route whole encoder forward passes, not one layer.
+
+:class:`~repro.serving.engine.ServingEngine` serves a single sparse
+operator; real inference traffic wants the *model*.  ``ModelServingEngine``
+closes that gap: requests are ragged ``(tokens, hidden)`` activation
+sequences, micro-batches run one batched
+:meth:`~repro.models.transformer.TransformerEncoder.forward` per bucket —
+every sparse projection executing through the engine's kernel dispatcher on
+its batched RHS path — and the results are split back per request.
+
+Three serving-level resources are engine-scoped and shared across every
+request the engine ever serves:
+
+* **the kernel dispatcher** — injected into all sparse projections
+  (:meth:`TransformerEncoder.set_dispatcher`), so the whole encoder shares
+  one decision cache and one tuner, isolated from other engines;
+* **the plan registry** — one warmed
+  :class:`~repro.kernels.spatha.SpmmPlan` per sparse projection, looked up
+  per micro-batch with hit/miss counters surfaced on :meth:`stats` (the
+  cross-request plan-cache reuse the ROADMAP asks for);
+* **the per-layer trace** — every micro-batch records one modelled
+  :class:`~repro.hardware.trace.KernelExecution` per projection, so serving
+  runs aggregate into the same per-layer breakdowns the evaluation harness
+  uses (:meth:`per_layer_times`).
+
+Bit-exactness is the core guarantee, now model-level: serving N requests
+batched is bit-for-bit equal to N sequential ``encoder.forward`` calls.  It
+holds because the engine only stacks *same-length* sequences (exact-length
+buckets — attention's softmax and LayerNorm mix information across the
+tokens of a sequence, so zero-padding would not be numerics-neutral the way
+it is for a single GEMM) and every operator in the stack is slab-exact over
+the batch dimension: the dispatcher's batched SpMM path by construction,
+the dense layers via the batched-matmul formulation, and the attention
+matmuls / softmax / LayerNorm / GELU because they reduce within a slab.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .batcher import MicroBatch, Request, ShapeBucketBatcher
+from .engine import AsyncDriverMixin
+from ..hardware.trace import ExecutionTrace
+from ..kernels.dispatch import KernelDispatcher
+from ..kernels.spatha import SpmmPlan
+from ..models.layers import SparseLinear
+from ..models.transformer import TransformerEncoder
+
+
+class ModelServingEngine(AsyncDriverMixin):
+    """Dynamic-batching server for a whole :class:`TransformerEncoder`.
+
+    An engine takes ownership of the encoder's execution routing:
+    constructing it injects the engine's dispatcher into every sparse
+    projection.  Constructing a *second* engine on the same encoder
+    re-routes those layers to the newer engine; the displaced engine
+    detects this on its next batch and raises rather than silently
+    executing through (and tracing against) a dispatcher that is no longer
+    wired in.  Use one engine per encoder, or re-create the engine.
+
+    Parameters
+    ----------
+    encoder:
+        The model to serve.  Its sparse projections are re-routed through
+        this engine's dispatcher (cache scoping per engine).
+    dispatcher:
+        Kernel dispatcher to execute through.  Defaults to a *fresh*
+        engine-private :class:`KernelDispatcher` — two engines never share
+        memoized dispatch signatures unless explicitly given one dispatcher.
+    batcher:
+        Request batcher.  Defaults to exact-length bucketing
+        (:meth:`ShapeBucketBatcher.exact_length`), the only padding-free —
+        and therefore bit-exact — policy for sequence-mixing models; pass an
+        :class:`~repro.serving.batcher.AsyncWindowBatcher` (also
+        exact-length) for arrival-deadline window closing via :meth:`poll`.
+    warm:
+        When True (default), eagerly build every sparse projection's SpMM
+        plan and pre-rank the dispatch decisions of ``warm_buckets`` so the
+        first window pays neither operand preparation nor the tuner sweep.
+    warm_buckets:
+        Token-bucket sizes (sequence lengths here) to pre-rank at
+        construction.
+    """
+
+    def __init__(
+        self,
+        encoder: TransformerEncoder,
+        dispatcher: Optional[KernelDispatcher] = None,
+        batcher: Optional[ShapeBucketBatcher] = None,
+        warm: bool = True,
+        warm_buckets: Sequence[int] = (),
+        name: str = "encoder-serving",
+    ) -> None:
+        if not isinstance(encoder, TransformerEncoder):
+            raise TypeError("encoder must be a TransformerEncoder")
+        self.encoder = encoder
+        self.hidden_size = encoder.config.hidden_size
+        self.name = name
+        self.dispatcher = (
+            dispatcher if dispatcher is not None else KernelDispatcher(name=f"{name}.dispatcher")
+        )
+        encoder.set_dispatcher(self.dispatcher)
+        self.batcher = batcher if batcher is not None else ShapeBucketBatcher.exact_length()
+        self.trace = ExecutionTrace()
+        self.total_requests = 0
+        self.total_batches = 0
+        #: Engine-lifetime plan registry: qualified layer name -> SpmmPlan.
+        self.plans: Dict[str, SpmmPlan] = {}
+        self.plan_hits = 0
+        self.plan_misses = 0
+        if warm:
+            self.warm(warm_buckets)
+
+    def _sparse_layers(self) -> List[Tuple[str, SparseLinear]]:
+        """The encoder's *live* sparse projections.
+
+        Looked up fresh on every use rather than snapshotted at
+        construction: layers sparsified after the engine was built must be
+        seen by the routing guard (they carry no engine dispatcher and have
+        to fail loudly, not silently execute through the process default).
+        """
+        return list(self.encoder.named_sparse_layers())
+
+    # ------------------------------------------------------------------
+    # Warming / plan cache
+    # ------------------------------------------------------------------
+    def warm(self, buckets: Sequence[int] = ()) -> int:
+        """Build every sparse projection's plan and pre-rank ``buckets``.
+
+        Returns the number of operands warmed.  Warm-time plan builds are
+        *not* counted as cache misses — the counters measure serving-time
+        traffic, so a warmed engine serves with ``plan_misses == 0``.
+        """
+        warmed = self.dispatcher.warm_many(
+            [lin.operand for _, lin in self._sparse_layers()], cs=buckets
+        )
+        self.plans.update(self.encoder.spmm_plan_registry())
+        return warmed
+
+    def _plan_for(self, qualified_name: str, layer: SparseLinear) -> SpmmPlan:
+        """Registry lookup with hit/miss accounting (one per projection per batch).
+
+        The registry does not shadow the execution path: its entries are
+        the *same* objects the dispatcher's kernel path reaches through
+        ``SpmmPlan.for_matrix`` (plans are memoized on the weight, and
+        ``for_matrix`` on an already-planned weight returns that memo), so
+        a registry hit is exactly "this batch reuses a previously built
+        plan" — the cross-request reuse the counters exist to prove.  The
+        identity is pinned by a test.
+        """
+        plan = self.plans.get(qualified_name)
+        if plan is not None:
+            self.plan_hits += 1
+            return plan
+        self.plan_misses += 1
+        plan = SpmmPlan.for_matrix(layer.sparse_weight)
+        self.plans[qualified_name] = plan
+        return plan
+
+    # ------------------------------------------------------------------
+    # Request intake
+    # ------------------------------------------------------------------
+    def _validate(self, request: Request) -> None:
+        if request.features != self.hidden_size:
+            raise ValueError(
+                f"{self.name}: request {request.request_id!r} has feature width "
+                f"{request.features}, but the encoder's hidden size is {self.hidden_size}; "
+                f"submit activations of shape (tokens, {self.hidden_size})"
+            )
+
+    def submit(self, request: Request) -> None:
+        """Queue one request for the next flush/poll."""
+        self._validate(request)
+        self.batcher.submit(request)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _record_layer_executions(self, batch: MicroBatch) -> None:
+        """Model one kernel launch per projection at the batch's true size."""
+        seq = batch.key.token_bucket
+        total_tokens = batch.batch_size * seq
+        for qualified_name, lin in self.encoder.named_linear_layers():
+            if isinstance(lin, SparseLinear):
+                decision = self.dispatcher.dispatch(lin.operand, seq)
+                modelled = self.dispatcher.estimate(
+                    lin.operand, total_tokens, backend=decision.backend
+                )
+                backend = decision.backend
+            else:
+                modelled = lin.kernel_result(total_tokens, gpu=self.dispatcher.gpu)
+                backend = "cublas-dense"
+            execution = modelled.as_execution(category="gemm")
+            execution.meta.update(
+                {
+                    "serving": self.name,
+                    "layer": qualified_name,
+                    "backend": backend,
+                    "batch_size": batch.batch_size,
+                    "tokens": seq,
+                }
+            )
+            self.trace.record(execution)
+
+    def _execute_batch(self, batch: MicroBatch) -> Dict[str, np.ndarray]:
+        if batch.key.features != self.hidden_size:
+            raise ValueError(
+                f"{self.name}: micro-batch feature width ({batch.key.features}) does not "
+                f"match the encoder hidden size ({self.hidden_size})"
+            )
+        padded = [r for r in batch.requests if r.tokens != batch.key.token_bucket]
+        if padded:
+            # A padding batcher (the single-operator bucket ladder) would
+            # zero-pad sequences — and padded key tokens enter attention's
+            # softmax denominators, silently perturbing the real tokens.
+            # Model-level serving is only correct with exact-length buckets.
+            raise ValueError(
+                f"{self.name}: requests {[r.request_id for r in padded]} would be "
+                f"zero-padded from their true length to the {batch.key.token_bucket}-token "
+                f"bucket, which is not numerics-neutral through attention/LayerNorm; "
+                f"model serving requires an exact-length batcher "
+                f"(ShapeBucketBatcher.exact_length() / AsyncWindowBatcher.exact_length())"
+            )
+        for qualified_name, lin in self._sparse_layers():
+            if lin.dispatcher is not self.dispatcher:
+                # A newer engine (or a direct set_dispatcher call) re-routed
+                # the encoder.  Executing anyway would populate the other
+                # dispatcher's caches while this engine's trace reported its
+                # own — silently wrong on both sides, so fail loudly.
+                raise RuntimeError(
+                    f"{self.name}: encoder layer {qualified_name!r} is no longer routed "
+                    f"through this engine's dispatcher (another ModelServingEngine was "
+                    f"constructed on the same encoder?); serve through the engine that "
+                    f"owns the encoder, or build a fresh engine"
+                )
+            self._plan_for(qualified_name, lin)  # cross-request plan reuse
+        hidden = batch.stacked_activations()  # (B, seq, hidden)
+        out = self.encoder.forward(hidden)  # (B, seq, hidden), slab-exact
+        self._record_layer_executions(batch)
+        self.total_batches += 1
+        self.total_requests += batch.batch_size
+        return batch.split_hidden(out)
+
+    def flush(self) -> Dict[str, np.ndarray]:
+        """Run everything queued through the encoder; ``{request_id: (tokens, hidden)}``."""
+        results: Dict[str, np.ndarray] = {}
+        for batch in self.batcher.drain():
+            results.update(self._execute_batch(batch))
+        return results
+
+    # poll() / serve_arrivals() are inherited from AsyncDriverMixin (the
+    # async drivers are identical for the single-operator and model engines).
+
+    def serve(self, requests: Iterable[Request]) -> Dict[str, np.ndarray]:
+        """Submit a window's worth of requests and flush (atomic on intake)."""
+        window = list(requests)
+        for request in window:
+            if isinstance(request, Request):
+                self._validate(request)
+        self.batcher.submit_many(window)
+        return self.flush()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def per_layer_times(self) -> Dict[str, float]:
+        """Aggregated modelled time (us) per projection across all batches."""
+        totals: Dict[str, float] = {}
+        for execution in self.trace.executions:
+            layer = execution.meta.get("layer")
+            if layer is not None:
+                totals[layer] = totals.get(layer, 0.0) + execution.time_us
+        return totals
+
+    def stats(self) -> Dict[str, object]:
+        """Counters, cache traffic and the per-layer modelled breakdown."""
+        return {
+            "requests": self.total_requests,
+            "batches": self.total_batches,
+            "mean_batch_size": (self.total_requests / self.total_batches)
+            if self.total_batches
+            else 0.0,
+            "sparse_projections": len(self._sparse_layers()),
+            "plan_cache": {
+                "size": len(self.plans),
+                "hits": self.plan_hits,
+                "misses": self.plan_misses,
+            },
+            "dispatch_cache": self.dispatcher.cache_stats(),
+            "modelled_kernel_time_us": self.trace.total_time_us,
+            "per_layer_time_us": self.per_layer_times(),
+        }

@@ -79,6 +79,8 @@ class ServingSimReport:
     #: Completion latency (finish - arrival) per request, microseconds.
     latencies_us: Dict[str, float] = field(default_factory=dict)
     trace: ExecutionTrace = field(default_factory=ExecutionTrace)
+    #: Window-closing policy the run used ("fixed" grid or "async" deadlines).
+    window_policy: str = "fixed"
 
     @property
     def throughput_rps(self) -> float:
@@ -110,6 +112,7 @@ class ServingSimReport:
         """Flat record for tables/JSON (one row of the window sweep)."""
         return {
             "window_us": self.window_us,
+            "window_policy": self.window_policy,
             "requests": self.num_requests,
             "batches": self.num_batches,
             "mean_batch_size": round(self.mean_batch_size, 2),
@@ -120,18 +123,68 @@ class ServingSimReport:
         }
 
 
+def plan_async_closings(
+    requests: Sequence[SimulatedRequest],
+    window_us: float,
+    bucket_of,
+) -> List[Tuple[float, List[SimulatedRequest]]]:
+    """Arrival-deadline window closings, per bucket.
+
+    The async policy of :class:`~repro.serving.batcher.AsyncWindowBatcher`,
+    replayed analytically: each *bucket's* window opens when its first
+    request arrives and closes exactly ``window_us`` later (requests
+    arriving strictly within the open window join it); there is no global
+    grid and no count trigger.  Returns ``(close_us, members)`` pairs
+    sorted by close time so a serial executor can drain them in order.
+
+    Boundary semantics match the live batcher: ``drain_due`` considers a
+    window due at ``arrival + window_us <= now``, and ``serve_arrivals``
+    polls *before* submitting each arrival — so a request arriving exactly
+    at a closing deadline misses that window and opens the next one.
+    """
+    by_bucket: Dict[object, List[SimulatedRequest]] = {}
+    for req in sorted(requests, key=lambda r: (r.arrival_us, r.request_id)):
+        by_bucket.setdefault(bucket_of(req), []).append(req)
+    closings: List[Tuple[float, List[SimulatedRequest]]] = []
+    for members in by_bucket.values():
+        window: List[SimulatedRequest] = []
+        deadline = float("-inf")
+        for req in members:
+            if not window or req.arrival_us >= deadline:
+                if window:
+                    closings.append((deadline, window))
+                window = [req]
+                deadline = req.arrival_us + window_us
+            else:
+                window.append(req)
+        if window:
+            closings.append((deadline, window))
+    closings.sort(key=lambda cw: (cw[0], cw[1][0].request_id))
+    return closings
+
+
 def simulate_serving(
     operand: SpmmOperand,
     requests: Sequence[SimulatedRequest],
     window_us: float,
     dispatcher: Optional[KernelDispatcher] = None,
     batcher: Optional[ShapeBucketBatcher] = None,
+    window_policy: str = "fixed",
 ) -> ServingSimReport:
     """Replay ``requests`` through a windowed dynamic batcher on the model.
 
     ``window_us <= 0`` means no batching: every request is dispatched alone
     the moment it arrives (the per-request baseline of the sweeps).
+
+    ``window_policy`` selects how windows close when batching is on:
+    ``"fixed"`` closes every bucket at multiples of ``window_us`` (the grid
+    policy), ``"async"`` closes each bucket on its own arrival deadline —
+    first arrival + ``window_us`` — so queueing delay is bounded by the
+    window for *every* request instead of depending on where in the grid it
+    happened to arrive (see :func:`plan_async_closings`).
     """
+    if window_policy not in {"fixed", "async"}:
+        raise ValueError(f"unknown window_policy {window_policy!r}; use 'fixed' or 'async'")
     dispatcher = dispatcher if dispatcher is not None else KernelDispatcher()
     batcher = batcher if batcher is not None else ShapeBucketBatcher()
     if not requests:
@@ -143,14 +196,18 @@ def simulate_serving(
     gpu_free_us = 0.0
     makespan_us = 0.0
 
-    # Close windows at multiples of window_us (or per request when
-    # batching is disabled); within a closing, group with the batcher's
-    # deterministic bucketing.
+    # Close windows at multiples of window_us (fixed), at per-bucket arrival
+    # deadlines (async), or per request when batching is disabled; within a
+    # closing, group with the batcher's deterministic bucketing.
     if window_us <= 0:
         closings: List[Tuple[float, List[SimulatedRequest]]] = [
             (req.arrival_us, [req])
             for req in sorted(requests, key=lambda r: (r.arrival_us, r.request_id))
         ]
+    elif window_policy == "async":
+        closings = plan_async_closings(
+            requests, window_us, bucket_of=lambda r: batcher.token_bucket(r.tokens)
+        )
     else:
         grouped: Dict[int, List[SimulatedRequest]] = {}
         for req in requests:
@@ -198,6 +255,7 @@ def simulate_serving(
         makespan_us=makespan_us,
         latencies_us=latencies,
         trace=trace,
+        window_policy=window_policy,
     )
 
 
@@ -207,14 +265,24 @@ def sweep_batch_windows(
     windows_us: Sequence[float],
     dispatcher: Optional[KernelDispatcher] = None,
     batcher: Optional[ShapeBucketBatcher] = None,
+    window_policy: str = "fixed",
 ) -> List[ServingSimReport]:
     """Requests/s vs batch window: one simulated run per window setting.
 
     A shared dispatcher keeps the decision/tuner caches warm across the
-    sweep, mirroring a long-running server.
+    sweep, mirroring a long-running server.  ``window_policy`` is forwarded
+    to :func:`simulate_serving` (``"async"`` sweeps arrival-deadline
+    closing instead of the fixed grid).
     """
     dispatcher = dispatcher if dispatcher is not None else KernelDispatcher()
     return [
-        simulate_serving(operand, requests, window_us=w, dispatcher=dispatcher, batcher=batcher)
+        simulate_serving(
+            operand,
+            requests,
+            window_us=w,
+            dispatcher=dispatcher,
+            batcher=batcher,
+            window_policy=window_policy,
+        )
         for w in windows_us
     ]

@@ -166,6 +166,38 @@ class TestDispatchDecisions:
         decision = KernelDispatcher().dispatch(op, 4096)
         assert decision.backend == "spatha-plan"
 
+    def test_cache_hit_miss_counters(self, operand):
+        dispatcher = KernelDispatcher()
+        assert dispatcher.cache_stats() == {"size": 0, "hits": 0, "misses": 0}
+        dispatcher.dispatch(operand, 20)  # miss (bucket 32)
+        dispatcher.dispatch(operand, 24)  # hit (same bucket)
+        dispatcher.dispatch(operand, 40)  # miss (bucket 64)
+        assert dispatcher.cache_stats() == {"size": 2, "hits": 1, "misses": 2}
+        # Counters are cumulative traffic: clear_cache drops entries only,
+        # and re-ranking a dropped signature counts as a fresh miss.
+        dispatcher.clear_cache()
+        stats = dispatcher.cache_stats()
+        assert stats["size"] == 0 and stats["hits"] == 1 and stats["misses"] == 2
+        dispatcher.dispatch(operand, 20)
+        assert dispatcher.cache_stats() == {"size": 1, "hits": 1, "misses": 3}
+
+    def test_warm_many_covers_all_operands_and_buckets(self, pruned, rng):
+        other_dense = (rng.normal(size=(16, 64)) * (rng.random(size=(16, 64)) < 0.3)).astype(
+            np.float32
+        )
+        operands = [
+            SpmmOperand.from_dense(pruned, formats=("csr",)),
+            SpmmOperand.from_dense(other_dense, formats=("csr",)),
+        ]
+        dispatcher = KernelDispatcher()
+        assert dispatcher.warm_many(operands, cs=(8, 64)) == 2
+        assert dispatcher.cache_size() == 4  # 2 operands x 2 buckets, distinct sigs
+        hits_before = dispatcher.cache_hits
+        for op in operands:
+            for c in (8, 64):
+                dispatcher.dispatch(op, c)
+        assert dispatcher.cache_hits == hits_before + 4  # all pre-ranked
+
     def test_no_supported_backend_raises(self, pruned):
         dispatcher = KernelDispatcher(backends=[CublasDenseBackend()])
         op = SpmmOperand.from_dense(pruned, formats=("csr",), allow_dense=False)
@@ -261,6 +293,31 @@ class TestDispatchedExecution:
         from repro.kernels.spatha import spmm as spatha_spmm
 
         assert np.array_equal(out, spatha_spmm(vnm, b))
+
+    def test_nonfinite_demotion_is_per_slab(self):
+        """Regression: a non-finite slab in a batched RHS must demote only
+        ITSELF to the sparse backend — demoting the whole batch would make
+        a request's backend (and bits) depend on its batchmates, breaking
+        the serving guarantee that batched == sequential execution."""
+        a_dense = np.zeros((8, 8), dtype=np.float32)
+        a_dense[:, 0] = 1.0  # only column 0 selected by the sparse structure
+        vnm = VNMSparseMatrix.from_dense(a_dense, v=8, n=2, m=8, strict=True)
+        op = SpmmOperand.from_vnm(vnm)  # candidates: spatha-plan + cublas-dense
+        dispatcher = KernelDispatcher()
+        assert dispatcher.dispatch(op, 4).backend == "cublas-dense"  # tiny problem
+
+        batch = np.ones((3, 8, 4), dtype=np.float32)
+        batch[1, 5] = 1e6  # overflows fp16 in an unselected row of slab 1 only
+        out = dispatcher.execute(op, batch)
+        assert np.isfinite(out).all()
+        # Every slab matches its own sequential single-slab execution.
+        for i in range(3):
+            assert np.array_equal(out[i], dispatcher.execute(op, batch[i])), i
+        # And the finite slabs still took the dense fast path (identical to
+        # a dense-only dispatcher's output on those slabs).
+        dense_only = KernelDispatcher(backends=[CublasDenseBackend()])
+        for i in (0, 2):
+            assert np.array_equal(out[i], dense_only.execute(op, batch[i]))
 
     def test_dense_only_operand_keeps_dense_on_nonfinite(self):
         """With no sparse backend available the dense fallback still runs

@@ -1,0 +1,330 @@
+"""Golden end-to-end correctness matrix for model-level serving.
+
+The acceptance property of the serving stack, one level up from the
+single-operator tests: batched encoder serving through
+:class:`~repro.serving.model_engine.ModelServingEngine` is **bit-for-bit**
+equal to sequential per-request ``TransformerEncoder.forward`` calls, for
+every cell of a (V:N:M pattern x num_layers x ragged request lengths x
+backend) grid.  The full matrix is marked ``slow``; a four-cell smoke
+subset stays in tier-1 so every CI run still crosses all four grid axes.
+
+Also here: the plan-cache hit/miss accounting (cross-request reuse is the
+point of the engine-lifetime registry) and the dispatcher cache-isolation
+regression — two engines with injected dispatchers must never share
+memoized dispatch signatures.
+"""
+
+import numpy as np
+import pytest
+
+from repro.integration import VNMSparsifier, sparsify_encoder
+from repro.kernels.dispatch import (
+    CublasDenseBackend,
+    KernelDispatcher,
+    SpathaPlanBackend,
+    default_dispatcher,
+)
+from repro.models import TransformerEncoder, tiny_config
+from repro.serving import AsyncWindowBatcher, ModelServingEngine, Request
+
+HIDDEN = 64
+
+
+def make_encoder(pattern, num_layers, seed=0):
+    """A tiny sparsified encoder (all six projections per layer V:N:M)."""
+    v, n, m = pattern
+    cfg = tiny_config(
+        hidden_size=HIDDEN, num_layers=num_layers, num_heads=4, intermediate_size=128
+    )
+    encoder = TransformerEncoder.init(cfg, seed=seed)
+    replaced = sparsify_encoder(encoder, VNMSparsifier(n=n, m=m, v=v))
+    assert len(replaced) == 6 * num_layers
+    return encoder
+
+
+def make_requests(rng, lengths, prefix="req"):
+    return [
+        Request(f"{prefix}-{i:04d}", rng.normal(size=(t, HIDDEN)).astype(np.float32))
+        for i, t in enumerate(lengths)
+    ]
+
+
+def backend_dispatcher(backend):
+    """A dispatcher restricted to one backend (or the full auto registry)."""
+    if backend == "auto":
+        return KernelDispatcher()
+    if backend == "spatha-plan":
+        return KernelDispatcher(backends=[SpathaPlanBackend()])
+    if backend == "cublas-dense":
+        return KernelDispatcher(backends=[CublasDenseBackend()])
+    raise ValueError(backend)
+
+
+def assert_golden_cell(pattern, num_layers, lengths, backend, rng):
+    """One grid cell: batched serving == sequential forward, bit for bit."""
+    encoder = make_encoder(pattern, num_layers)
+    engine = ModelServingEngine(
+        encoder, dispatcher=backend_dispatcher(backend), name=f"golden-{backend}"
+    )
+    requests = make_requests(rng, lengths)
+    batched = engine.serve(requests)
+
+    assert set(batched) == {r.request_id for r in requests}
+    for request in requests:
+        # The engine injected its dispatcher into the encoder, so this IS
+        # the sequential per-request execution of the same configuration.
+        sequential = encoder.forward(request.activations[None])[0]
+        assert batched[request.request_id].shape == (request.tokens, HIDDEN)
+        assert np.array_equal(batched[request.request_id], sequential), (
+            f"cell (pattern={pattern}, layers={num_layers}, backend={backend}) "
+            f"diverged on {request.request_id} (tokens={request.tokens})"
+        )
+
+    # Cross-request plan reuse: the warmed registry answers every lookup.
+    stats = engine.stats()
+    assert stats["plan_cache"]["size"] == 6 * num_layers
+    assert stats["plan_cache"]["misses"] == 0
+    assert stats["plan_cache"]["hits"] == stats["batches"] * 6 * num_layers
+    return engine
+
+
+PATTERNS = [(16, 2, 8), (8, 2, 4)]
+LAYER_COUNTS = [1, 2]
+LENGTH_SETS = [[3, 7, 7, 12], [9, 17, 17, 17, 33]]
+BACKENDS = ["auto", "cublas-dense"]
+
+FULL_GRID = [
+    (p, l, s, b)
+    for p in PATTERNS
+    for l in LAYER_COUNTS
+    for s in LENGTH_SETS
+    for b in BACKENDS
+]
+
+#: Tier-1 smoke subset: four cells that still cross every axis (both
+#: patterns, both layer counts, both length sets, both backends).
+SMOKE_GRID = [
+    ((16, 2, 8), 1, [3, 7, 7, 12], "auto"),
+    ((8, 2, 4), 2, [9, 17, 17, 17, 33], "auto"),
+    ((16, 2, 8), 2, [9, 17, 17, 17, 33], "cublas-dense"),
+    ((8, 2, 4), 1, [3, 7, 7, 12], "cublas-dense"),
+]
+
+
+class TestGoldenMatrix:
+    @pytest.mark.parametrize("pattern,num_layers,lengths,backend", SMOKE_GRID)
+    def test_smoke_cells(self, rng, pattern, num_layers, lengths, backend):
+        assert_golden_cell(pattern, num_layers, lengths, backend, rng)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("pattern,num_layers,lengths,backend", FULL_GRID)
+    def test_full_matrix(self, rng, pattern, num_layers, lengths, backend):
+        assert_golden_cell(pattern, num_layers, lengths, backend, rng)
+
+    def test_arrival_order_invariance(self, rng):
+        encoder = make_encoder((16, 2, 8), 1)
+        requests = make_requests(rng, [5, 9, 9, 17, 9, 5])
+        baseline = ModelServingEngine(encoder).serve(requests)
+        shuffled = ModelServingEngine(encoder).serve(list(reversed(requests)))
+        for rid in baseline:
+            assert np.array_equal(baseline[rid], shuffled[rid]), rid
+
+    def test_async_windows_preserve_bits(self, rng):
+        """Arrival-deadline window closing changes *when* requests run,
+        never their numbers."""
+        encoder = make_encoder((16, 2, 8), 1)
+        requests = make_requests(rng, [5, 9, 9, 17, 9, 5])
+        one_window = ModelServingEngine(encoder).serve(requests)
+        for window_us in (25.0, 400.0):
+            engine = ModelServingEngine(
+                encoder, batcher=AsyncWindowBatcher.exact_length(window_us=window_us)
+            )
+            timed = [
+                Request(r.request_id, r.activations, arrival_us=i * 50.0)
+                for i, r in enumerate(requests)
+            ]
+            results = engine.serve_arrivals(timed)
+            for rid in one_window:
+                assert np.array_equal(results[rid], one_window[rid]), (window_us, rid)
+
+
+class TestPlanCache:
+    def test_cold_engine_counts_misses_then_hits(self, rng):
+        encoder = make_encoder((16, 2, 8), 2)
+        engine = ModelServingEngine(encoder, warm=False)
+        assert engine.stats()["plan_cache"]["size"] == 0
+        engine.serve(make_requests(rng, [9, 9]))  # one exact-length batch
+        stats = engine.stats()
+        assert stats["plan_cache"]["misses"] == 12  # built on first batch
+        assert stats["plan_cache"]["hits"] == 0
+        engine.serve(make_requests(rng, [9, 9], prefix="again"))
+        stats = engine.stats()
+        assert stats["plan_cache"]["misses"] == 12  # never rebuilt
+        assert stats["plan_cache"]["hits"] == 12
+
+    def test_warmed_engine_never_misses(self, rng):
+        engine = ModelServingEngine(make_encoder((8, 2, 4), 1), warm_buckets=(9,))
+        for window in range(3):
+            engine.serve(make_requests(rng, [9, 9, 9], prefix=f"w{window}"))
+        stats = engine.stats()
+        assert stats["plan_cache"]["misses"] == 0
+        assert stats["plan_cache"]["hits"] == 3 * 6
+
+    def test_registry_plans_are_the_execution_path_plans(self):
+        """The registry must not shadow the kernel path: its entries are
+        the very objects SpmmPlan.for_matrix memoizes on each weight (what
+        the dispatcher's spatha backend executes through), so a registry
+        hit is genuine cross-request plan reuse."""
+        from repro.kernels.spatha import SpmmPlan
+
+        engine = ModelServingEngine(make_encoder((16, 2, 8), 1))
+        for name, layer in engine.encoder.named_sparse_layers():
+            assert engine.plans[name] is SpmmPlan.for_matrix(layer.sparse_weight)
+
+    def test_warm_buckets_prepay_dispatch_ranking(self):
+        engine = ModelServingEngine(make_encoder((16, 2, 8), 1), warm_buckets=(9, 17))
+        warm_stats = engine.dispatcher.cache_stats()
+        assert warm_stats["size"] > 0
+        # Every (operand, bucket) pair was visited at warm time; same-shape
+        # projections (q/k/v/o share 64x64 at one sparsity) legitimately
+        # alias to one signature, so later visits are already cache hits.
+        assert warm_stats["hits"] + warm_stats["misses"] == 6 * 2
+        assert warm_stats["misses"] == warm_stats["size"]
+
+
+class TestDispatcherIsolation:
+    def test_engines_do_not_share_memoized_signatures(self, rng):
+        """Regression: two engines with injected dispatchers must keep
+        fully independent decision caches (and leave the process-wide
+        default dispatcher untouched)."""
+        default_before = default_dispatcher().cache_size()
+        dispatcher_a = KernelDispatcher(name="engine-a")
+        dispatcher_b = KernelDispatcher(name="engine-b")
+        engine_a = ModelServingEngine(make_encoder((16, 2, 8), 1), dispatcher=dispatcher_a)
+        engine_b = ModelServingEngine(make_encoder((16, 2, 8), 1), dispatcher=dispatcher_b)
+
+        engine_a.serve(make_requests(rng, [9, 9, 17]))
+        assert dispatcher_a.cache_size() > 0
+        assert dispatcher_b.cache_size() == 0  # b never served traffic
+        assert dispatcher_b.cache_misses == 0
+
+        size_a = dispatcher_a.cache_size()
+        engine_b.serve(make_requests(rng, [9, 9, 17]))
+        assert dispatcher_a.cache_size() == size_a  # b's traffic never hit a
+        dispatcher_b.clear_cache()
+        assert dispatcher_a.cache_size() == size_a
+        assert default_dispatcher().cache_size() == default_before
+
+    def test_injected_dispatcher_routes_every_sparse_layer(self):
+        dispatcher = KernelDispatcher(name="routed")
+        engine = ModelServingEngine(make_encoder((16, 2, 8), 2), dispatcher=dispatcher)
+        for _, layer in engine.encoder.named_sparse_layers():
+            assert layer.dispatcher is dispatcher
+
+    def test_padding_batcher_rejected_not_silently_wrong(self, rng):
+        """Regression: a padding batcher (the single-operator bucket
+        ladder) must be refused — zero-padded key tokens enter attention's
+        softmax denominators, so the engine would return silently wrong
+        numbers and trim the evidence."""
+        from repro.serving import ShapeBucketBatcher
+
+        engine = ModelServingEngine(
+            make_encoder((16, 2, 8), 1), batcher=ShapeBucketBatcher()
+        )
+        with pytest.raises(ValueError, match="exact-length"):
+            engine.serve(make_requests(rng, [5]))  # 5 pads to bucket 8
+
+    def test_layers_sparsified_after_construction_fail_loudly(self, rng):
+        """Regression: the routing guard must see the encoder's *live*
+        layers — a projection sparsified after the engine was built carries
+        no engine dispatcher and must not silently execute through the
+        process-wide default."""
+        cfg = tiny_config(hidden_size=HIDDEN, num_layers=1, num_heads=4, intermediate_size=128)
+        encoder = TransformerEncoder.init(cfg, seed=5)
+        sparsify_encoder(
+            encoder,
+            VNMSparsifier(n=2, m=8, v=16),
+            weight_filter=lambda name: name.split(".", 3)[-1].startswith("ffn."),
+        )
+        engine = ModelServingEngine(encoder)
+        engine.serve(make_requests(rng, [9, 9]))
+        default_size = default_dispatcher().cache_size()
+        sparsify_encoder(  # the attention projections join later
+            encoder,
+            VNMSparsifier(n=2, m=8, v=16),
+            weight_filter=lambda name: name.split(".", 3)[-1].startswith("attention."),
+        )
+        with pytest.raises(RuntimeError, match="no longer routed"):
+            engine.serve(make_requests(rng, [9, 9], prefix="late"))
+        assert default_dispatcher().cache_size() == default_size
+
+    def test_displaced_engine_fails_loudly_not_silently(self, rng):
+        """Regression: a second engine on the SAME encoder re-routes the
+        sparse layers; the displaced engine must refuse to serve (it would
+        otherwise execute through — and populate the caches of — a
+        dispatcher its trace does not report)."""
+        encoder = make_encoder((16, 2, 8), 1)
+        engine_a = ModelServingEngine(encoder, name="engine-a")
+        engine_a.serve(make_requests(rng, [9, 9]))  # fine while it owns routing
+        engine_b = ModelServingEngine(encoder, name="engine-b")
+        with pytest.raises(RuntimeError, match="no longer routed"):
+            engine_a.serve(make_requests(rng, [9, 9], prefix="late"))
+        # The new owner serves normally.
+        engine_b.serve(make_requests(rng, [9, 9], prefix="fresh"))
+
+
+class TestModelEngineApi:
+    def test_rejects_non_encoder(self):
+        with pytest.raises(TypeError):
+            ModelServingEngine(object())
+
+    def test_feature_mismatch_rejected_with_clear_error(self, rng):
+        engine = ModelServingEngine(make_encoder((16, 2, 8), 1))
+        bad = Request("bad", rng.normal(size=(4, HIDDEN + 1)).astype(np.float32))
+        with pytest.raises(ValueError, match="hidden size"):
+            engine.submit(bad)
+        good = make_requests(rng, [4])[0]
+        with pytest.raises(ValueError, match="hidden size"):
+            engine.serve([good, bad])
+        assert engine.batcher.pending == 0  # atomic intake
+
+    def test_per_layer_trace_aggregation(self, rng):
+        engine = ModelServingEngine(make_encoder((16, 2, 8), 2))
+        engine.serve(make_requests(rng, [9, 9, 17]))  # two exact-length batches
+        assert engine.total_batches == 2
+        # One modelled execution per projection per micro-batch.
+        assert len(engine.trace.executions) == 2 * 12
+        per_layer = engine.per_layer_times()
+        assert set(per_layer) == {name for name, _ in engine.encoder.named_linear_layers()}
+        assert all(t > 0 for t in per_layer.values())
+        backends = {e.meta["backend"] for e in engine.trace.executions}
+        assert backends <= {"spatha-plan", "cublas-dense", "sputnik-csr", "cusparse-blocked-ell"}
+        assert engine.stats()["modelled_kernel_time_us"] == pytest.approx(
+            sum(per_layer.values())
+        )
+
+    def test_layer_hook_sees_every_block(self, rng):
+        encoder = make_encoder((16, 2, 8), 2)
+        hidden = rng.normal(size=(3, 9, HIDDEN)).astype(np.float32)
+        seen = []
+        out = encoder.forward(hidden, layer_hook=lambda i, h: seen.append((i, h.shape)))
+        assert seen == [(0, (3, 9, HIDDEN)), (1, (3, 9, HIDDEN))]
+        assert out.shape == (3, 9, HIDDEN)
+
+    def test_mixed_dense_sparse_encoder_stays_bit_exact(self, rng):
+        """Only the FFN sparsified: the attention projections run the dense
+        slab-exact path, and batched == sequential must still hold."""
+        cfg = tiny_config(hidden_size=HIDDEN, num_layers=2, num_heads=4, intermediate_size=128)
+        encoder = TransformerEncoder.init(cfg, seed=3)
+        sparsify_encoder(
+            encoder,
+            VNMSparsifier(n=2, m=8, v=16),
+            weight_filter=lambda name: name.split(".", 3)[-1].startswith("ffn."),
+        )
+        assert encoder.count_sparse_layers() == 4
+        engine = ModelServingEngine(encoder)
+        requests = make_requests(rng, [5, 9, 9, 17])
+        batched = engine.serve(requests)
+        for request in requests:
+            sequential = encoder.forward(request.activations[None])[0]
+            assert np.array_equal(batched[request.request_id], sequential)
