@@ -5,6 +5,18 @@ moderately sized operands and asserts both the numerical equivalence and a
 conservative speedup floor (the full-size numbers — including the 10x+
 4096-cube SpMM — are produced by ``benchmarks/run_bench.py`` and recorded
 in ``BENCH_engine.json``).
+
+Wall-clock gates are timing-sensitive by nature, and shared CI runners
+jitter enough to red-flag a correct PR.  Environment handling:
+
+* locally (no ``CI`` variable): gates run with the strict floors;
+* under ``CI=true`` (GitHub sets this automatically): the whole module
+  **skips** unless ``PERF_GATES`` is set, so the blocking test jobs can
+  never flake on scheduler noise;
+* ``PERF_GATES=relaxed``: gates run with loosened floors/budgets — what
+  the dedicated *non-blocking* perf job in ``.github/workflows/ci.yml``
+  uses (regressions stay visible without gating merges);
+* ``PERF_GATES=strict``: the local strict floors, anywhere.
 """
 
 import os
@@ -24,10 +36,25 @@ from repro.pruning.second_order.obs_vnm import (
     second_order_vnm_prune_reference,
 )
 
-# Wall-clock speedup gates: timing-sensitive by nature.  The perf marker
-# (registered in pytest.ini) lets noisy environments deselect them with
-# ``-m "not perf"`` without touching the rest of the tier-1 suite.
-pytestmark = pytest.mark.perf
+IN_CI = os.environ.get("CI", "").lower() in {"1", "true", "yes"}
+PERF_GATES = os.environ.get("PERF_GATES", "").lower()
+STRICT = PERF_GATES == "strict" or (not IN_CI and PERF_GATES != "relaxed")
+
+#: Conservative local floor vs the near-noise floor the relaxed CI job
+#: uses (the vectorized paths are typically >10x; even 1.05x would mean a
+#: catastrophic regression, so the relaxed gate still catches real breaks).
+SPEEDUP_FLOOR = 1.5 if STRICT else 1.05
+
+# The perf marker (registered in pytest.ini) lets noisy environments
+# deselect these with ``-m "not perf"`` without touching tier-1.
+pytestmark = [
+    pytest.mark.perf,
+    pytest.mark.skipif(
+        IN_CI and PERF_GATES not in {"strict", "relaxed"},
+        reason="wall-clock perf gates skip on CI runners unless PERF_GATES is set "
+        "(the non-blocking perf workflow job runs them with PERF_GATES=relaxed)",
+    ),
+]
 
 
 def best_of(fn, repeats=3):
@@ -73,7 +100,7 @@ def test_perf_spmm_plan_vs_loop(run_once):
     assert np.allclose(vec_out, ref_out, atol=1e-3, rtol=1e-5)
     # The full-size speedup is >10x (see BENCH_engine.json); at this reduced
     # size we only assert a conservative floor to keep the suite robust.
-    assert ref_t / vec_t > 1.5
+    assert ref_t / vec_t > SPEEDUP_FLOOR
 
 
 def test_perf_second_order_vnm_vs_loop(run_once):
@@ -103,15 +130,16 @@ def test_perf_second_order_vnm_vs_loop(run_once):
     assert np.allclose(vec.pruned_weights, ref.pruned_weights, atol=1e-10)
     # Typically >10x; the floor is deliberately loose so scheduler noise on
     # the single-core CI box cannot flake the gate.
-    assert ref_t / vec_t > 1.5
+    assert ref_t / vec_t > SPEEDUP_FLOOR
 
 
 #: Wall-clock ceiling for the tier-1 serving subset.  The golden encoder
-#: matrix is deliberately split (full grid marked ``slow``, four-cell smoke
-#: subset in tier-1); this gate fails if the tier-1 slice creeps past the
+#: matrices are deliberately split (full grids marked ``slow``, smoke
+#: subsets in tier-1); this gate fails if the tier-1 slice creeps past the
 #: budget, e.g. because matrix cells lose their ``slow`` marker or grow
-#: expensive fixtures.
-SERVING_TIER1_BUDGET_S = 120.0
+#: expensive fixtures.  Relaxed-mode CI triples the budget: the gate is
+#: about runaway test growth, not about the runner's disk/CPU of the day.
+SERVING_TIER1_BUDGET_S = 120.0 if STRICT else 360.0
 
 
 def test_perf_serving_tier1_wallclock_budget(run_once):

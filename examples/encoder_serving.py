@@ -15,9 +15,13 @@ The walk-through:
 3. serve a window of ragged requests through exact-length dynamic batching
    and verify batched == sequential ``encoder.forward``, bit for bit,
 4. replay the same traffic against the async arrival-deadline window policy
-   (:class:`~repro.serving.batcher.AsyncWindowBatcher`) — same bits, and
-5. sweep fixed vs async window closing on the modelled GPU for the
-   capacity view.
+   (:class:`~repro.serving.batcher.AsyncWindowBatcher`) — same bits,
+5. re-serve the same ragged window in padded-bucket mode
+   (``padding="ladder"``): lengths round up a powers-of-two ladder and run
+   behind the additive attention mask, consolidating the near-empty
+   exact-length buckets into a few full ones at — again — the same bits, and
+6. sweep exact vs padded bucketing x fixed vs async window closing on the
+   modelled GPU for the capacity view.
 
 Run with::
 
@@ -122,7 +126,30 @@ def main() -> None:
     )
 
     # ------------------------------------------------------------------
-    # 5. Fixed vs async window closing on the modelled GPU (FFN operand).
+    # 5. Padded-bucket serving: ragged lengths share ladder rungs behind
+    #    the attention mask — fuller buckets, identical bits.
+    # ------------------------------------------------------------------
+    padded_encoder = TransformerEncoder.init(BERT_LARGE, num_layers=num_layers, seed=0)
+    sparsify_encoder(padded_encoder, VNMSparsifier(n=2, m=8, v=64))
+    padded_engine = ModelServingEngine(
+        padded_encoder, padding="ladder", name="bert-large-padded"
+    )
+    padded_results = padded_engine.serve(requests)
+    padded_identical = all(
+        np.array_equal(padded_results[r.request_id], batched[r.request_id])
+        for r in requests
+    )
+    padded_stats = padded_engine.stats()
+    print(
+        f"\npadded ladder: the same {padded_stats['requests']} ragged requests close in "
+        f"{padded_stats['batches']} padded buckets (exact-length needed {stats['batches']}), "
+        f"bucket fill {padded_stats['padding']['fill']:.2f}"
+    )
+    print(f"padded outputs bit-identical to exact-length serving: {padded_identical}")
+
+    # ------------------------------------------------------------------
+    # 6. Exact vs padded bucketing x fixed vs async window closing on the
+    #    modelled GPU (FFN operand).
     # ------------------------------------------------------------------
     operand = SpmmOperand.from_vnm(
         next(lin for name, lin in encoder.named_sparse_layers() if name.endswith("ffn.output")).sparse_weight,
@@ -134,27 +161,29 @@ def main() -> None:
     ]
     windows = [200.0, 1000.0, 5000.0]
     rows = []
-    for policy in ("fixed", "async"):
-        for report in sweep_batch_windows(
-            operand, sim_requests, windows, window_policy=policy
-        ):
-            s = report.summary()
-            rows.append(
-                [
-                    policy,
-                    f"{report.window_us:.0f} us",
-                    s["batches"],
-                    s["mean_batch_size"],
-                    s["throughput_rps"],
-                    s["p95_latency_us"],
-                ]
-            )
+    for bucketing in ("exact", "ladder"):
+        for policy in ("fixed", "async"):
+            for report in sweep_batch_windows(
+                operand, sim_requests, windows, window_policy=policy, bucketing=bucketing
+            ):
+                s = report.summary()
+                rows.append(
+                    [
+                        bucketing,
+                        policy,
+                        f"{report.window_us:.0f} us",
+                        s["batches"],
+                        s["mean_batch_size"],
+                        s["throughput_rps"],
+                        s["p95_latency_us"],
+                    ]
+                )
     print()
     print(
         format_table(
-            ["policy", "window", "kernels", "mean batch", "req/s", "p95 lat (us)"],
+            ["bucketing", "policy", "window", "kernels", "mean batch", "req/s", "p95 lat (us)"],
             rows,
-            title="Fixed-grid vs async arrival-deadline window closing (RTX 3090 model)",
+            title="Exact vs padded bucketing x fixed vs async window closing (RTX 3090 model)",
         )
     )
 

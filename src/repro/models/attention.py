@@ -6,6 +6,26 @@ weights, plus two batched matmuls (scores ``QKᵀ`` and context ``PV``) and a
 softmax that stay dense.  This module implements the functional forward
 pass on numpy tensors and reports the per-operator kernel executions the
 latency model aggregates.
+
+Attention is the only operator in the encoder that mixes information
+*across* the tokens of a sequence, so it is the one place padded-bucket
+serving has to intervene: :meth:`MultiHeadAttention.forward` accepts an
+additive attention mask (``0.0`` valid, ``-inf`` padded) that assigns
+padded key positions exactly zero softmax weight.
+
+Exactly-zero weights make the masked forward *mathematically* equal to the
+unpadded one, but not automatically *bitwise* equal: BLAS picks its
+tile/micro-kernel split from the operand shapes, so growing a GEMM from
+``(t, d)`` to a padded ``(S, d)`` can change the summation trees of the
+valid rows' dot products (measurably — e.g. single-token sequences take a
+GEMV-shaped path, and ``Q Kᵀ`` at some shapes flips low-order bits).  The
+masked path therefore derives each sequence's valid length from the mask
+and executes the *grouped* computation: sequences of equal valid length
+are sliced out of the padded batch and run through the standard unmasked
+code at their true shapes, which is bit-for-bit the standalone forward by
+the slab-exactness of every operator.  Masks without right-padding
+structure (causal, ALiBi-style biases, scattered ``-inf``) fall back to a
+general masked computation — exact zero weights, no bitwise claim.
 """
 
 from __future__ import annotations
@@ -16,7 +36,15 @@ from typing import Dict, List, Optional, Union
 import numpy as np
 
 from .config import ModelConfig
-from .functional import attention_context, attention_scores, merge_heads, softmax, split_heads
+from .functional import (
+    attention_context,
+    attention_scores,
+    grouped_by_length,
+    merge_heads,
+    resolve_padding_lengths,
+    softmax,
+    split_heads,
+)
 from .layers import DenseLinear, SparseLinear, init_dense_linear
 
 LinearLike = Union[DenseLinear, SparseLinear]
@@ -65,7 +93,12 @@ class MultiHeadAttention:
             raise KeyError(f"unknown projection {name!r}")
         setattr(self, mapping[name], layer)
 
-    def forward(self, hidden: np.ndarray, return_probs: bool = False):
+    def forward(
+        self,
+        hidden: np.ndarray,
+        return_probs: bool = False,
+        mask: Optional[np.ndarray] = None,
+    ):
         """Self-attention forward pass.
 
         Parameters
@@ -74,23 +107,64 @@ class MultiHeadAttention:
             ``(batch, seq, hidden)`` activations.
         return_probs:
             Also return the attention probabilities (used by tests).
+        mask:
+            Optional additive attention mask broadcastable to the
+            ``(batch, heads, seq, seq)`` scores: ``0.0`` keeps a key
+            position, ``-inf`` gives it exactly zero softmax weight.  A
+            right-padding mask (see
+            :func:`~repro.models.functional.padding_mask`) additionally
+            guarantees that every valid token's output is bit-for-bit the
+            unpadded forward of its sequence (padded rows of the output
+            are zero); see the module docstring for why that requires the
+            grouped execution path rather than masking alone.
         """
         hidden = np.asarray(hidden, dtype=np.float32)
         if hidden.ndim != 3 or hidden.shape[-1] != self.config.hidden_size:
             raise ValueError(
                 f"hidden must have shape (batch, seq, {self.config.hidden_size}), got {hidden.shape}"
             )
+        if mask is not None:
+            lengths = resolve_padding_lengths(mask, hidden)
+            if lengths is not None:
+                return self._forward_grouped(hidden, lengths, return_probs)
         q = split_heads(self.query.forward(hidden), self.config.num_heads)
         k = split_heads(self.key.forward(hidden), self.config.num_heads)
         v = split_heads(self.value.forward(hidden), self.config.num_heads)
 
         scores = attention_scores(q, k)
-        probs = softmax(scores, axis=-1)
+        probs = softmax(scores, axis=-1, mask=mask)
         context = merge_heads(attention_context(probs, v))
         out = self.output.forward(context)
         if return_probs:
             return out, probs
         return out
+
+    def _forward_grouped(self, hidden: np.ndarray, lengths: np.ndarray, return_probs: bool):
+        """Right-padding masked forward via equal-length grouping.
+
+        Sequences sharing a valid length are sliced out of the padded
+        batch and run through the standard unmasked forward at their true
+        ``(group, length, hidden)`` shape — the bits of each sequence
+        forwarded alone, by slab-exactness — then scattered back into the
+        padded layout with zeros on the padded rows.  Padded keys thus get
+        exactly zero attention weight in the strongest sense: they never
+        enter a reduction at all.
+        """
+        if not return_probs:
+            return grouped_by_length(hidden, lengths, self.forward)
+        batch, seq, _ = hidden.shape
+        probs = np.zeros((batch, self.config.num_heads, seq, seq), dtype=np.float32)
+
+        def forward_capturing_probs(sub):
+            t = sub.shape[1]
+            sub_out, sub_probs = self.forward(sub, return_probs=True)
+            idx = np.flatnonzero(lengths == t)
+            for j, b in enumerate(idx):
+                probs[b, :, :t, :t] = sub_probs[j]
+            return sub_out
+
+        out = grouped_by_length(hidden, lengths, forward_capturing_probs)
+        return out, probs
 
     # ------------------------------------------------------------------
     # Latency accounting helpers (used by models.latency)

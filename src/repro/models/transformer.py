@@ -12,14 +12,17 @@ layers — the interface the STen-style sparsification pass in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Callable, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from .attention import LinearLike, MultiHeadAttention
 from .config import ModelConfig
-from .functional import gelu, layer_norm
-from .layers import DenseLinear, SparseLinear, init_dense_linear
+from .functional import gelu, grouped_by_length, layer_norm, resolve_padding_lengths
+from .layers import SparseLinear, init_dense_linear
+
+if TYPE_CHECKING:  # import cycle: kernels.spatha pulls in formats, not models
+    from ..kernels.spatha import SpmmPlan
 
 
 @dataclass
@@ -83,9 +86,28 @@ class EncoderLayer:
             index=index,
         )
 
-    def forward(self, hidden: np.ndarray) -> np.ndarray:
-        """Post-LN encoder block forward pass (BERT convention)."""
-        attn_out = self.attention.forward(hidden)
+    def forward(self, hidden: np.ndarray, attention_mask: Optional[np.ndarray] = None) -> np.ndarray:
+        """Post-LN encoder block forward pass (BERT convention).
+
+        ``attention_mask`` is an optional additive mask (``0.0`` valid,
+        ``-inf`` masked; see :func:`~repro.models.functional.padding_mask`).
+        For a right-padding mask the block executes each group of
+        equal-valid-length sequences at its true shape, so every valid
+        token's output is bit-for-bit the unpadded forward of its sequence
+        and padded rows come out as zeros; the linear layers, LayerNorm and
+        GELU are per-row operators, but BLAS kernel selection is
+        shape-dependent, so even they are only bitwise-reproducible when
+        executed at the true sequence length (see
+        :mod:`repro.models.attention`).  Other mask structures apply the
+        general masked attention (exact zero weights, no bitwise claim)
+        with every row treated as valid through the FFN and LayerNorms.
+        """
+        hidden = np.asarray(hidden, dtype=np.float32)
+        if attention_mask is not None:
+            lengths = resolve_padding_lengths(attention_mask, hidden)
+            if lengths is not None:
+                return grouped_by_length(hidden, lengths, self.forward)
+        attn_out = self.attention.forward(hidden, mask=attention_mask)
         hidden = layer_norm(hidden + attn_out, self.ln1_gamma, self.ln1_beta)
         ffn_out = self.ffn.forward(hidden)
         return layer_norm(hidden + ffn_out, self.ln2_gamma, self.ln2_beta)
@@ -138,11 +160,25 @@ class TransformerEncoder:
         self,
         hidden: np.ndarray,
         layer_hook: Optional[Callable[[int, np.ndarray], None]] = None,
+        attention_mask: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Run the full stack on ``(batch, seq, hidden)`` activations.
 
         Sparse layers execute whole batches through the batched RHS path of
         their memoized SpMM plans (see :meth:`warm_spmm_plans`).
+
+        ``attention_mask`` is an optional additive mask (``0.0`` valid,
+        ``-inf`` masked).  A right-padding mask
+        (:func:`~repro.models.functional.padding_mask`) makes the stack
+        padding-safe end to end: equal-valid-length sequences are grouped
+        *once* and each group runs through the whole stack at its true
+        shape, so valid rows of the output are bit-for-bit the unpadded
+        forward and padded rows stay zero — the contract padded-bucket
+        serving slices against.  (With a ``layer_hook``, the mask is
+        instead forwarded to every block so the hook keeps observing
+        full-batch per-layer outputs; same bits, one regroup per layer.)
+        Other mask structures are forwarded to every block's general
+        masked path.
 
         ``layer_hook`` is an observation point for per-layer
         instrumentation: it is called as ``layer_hook(layer_index, hidden)``
@@ -152,10 +188,26 @@ class TransformerEncoder:
         — modelled kernel times come from the layer metadata, not the
         activations.)
         """
+        hidden = np.asarray(hidden, dtype=np.float32)
+        if attention_mask is not None and layer_hook is None:
+            lengths = resolve_padding_lengths(attention_mask, hidden)
+            if lengths is not None:
+                # Partition once for the whole stack: identical bits to
+                # per-layer grouping (same per-layer computation at the
+                # same (group, length, hidden) shapes) at one mask parse,
+                # slice and scatter per micro-batch instead of one per
+                # layer.
+                return grouped_by_length(hidden, lengths, self._forward_unmasked)
         for layer in self.layers:
-            hidden = layer.forward(hidden)
+            hidden = layer.forward(hidden, attention_mask=attention_mask)
             if layer_hook is not None:
                 layer_hook(layer.index, hidden)
+        return hidden
+
+    def _forward_unmasked(self, hidden: np.ndarray) -> np.ndarray:
+        """The plain stack loop (one equal-length group of the padded path)."""
+        for layer in self.layers:
+            hidden = layer.forward(hidden)
         return hidden
 
     def warm_spmm_plans(self) -> int:

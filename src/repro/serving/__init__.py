@@ -24,9 +24,12 @@ subsystem (the ROADMAP's "heavy traffic" direction):
 The core guarantee, property-tested end to end: batched execution of N
 compatible requests is bit-identical to N sequential single-request calls —
 per operator (the engine canonicalises every request to its bucket shape,
-and the dispatcher's batched path is slab-bit-exact) *and* per model (the
-model engine stacks same-length sequences only, and every operator of the
-encoder is slab-exact over the batch dimension).
+and the dispatcher's batched path is slab-bit-exact) *and* per model, in
+both batching modes (``padding="exact"`` stacks same-length sequences
+only, where every operator of the encoder is slab-exact over the batch
+dimension; ``padding="ladder"`` pads ragged sequences up a bucket ladder
+behind the additive attention mask, whose right-padding structure the
+masked encoder executes at true sequence lengths).
 """
 
 from .batcher import (

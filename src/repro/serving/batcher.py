@@ -84,6 +84,21 @@ class MicroBatch:
         """Total padded token count (``B * token_bucket``) — the batched C."""
         return self.batch_size * self.key.token_bucket
 
+    @property
+    def valid_lengths(self) -> Tuple[int, ...]:
+        """Per-request true token counts, in batch order.
+
+        The padded model-serving path turns these into the additive
+        attention mask (:func:`~repro.models.functional.padding_mask`)
+        that keeps padded key rows at exactly zero attention weight.
+        """
+        return tuple(req.tokens for req in self.requests)
+
+    @property
+    def valid_tokens(self) -> int:
+        """Total true token count (``sum(valid_lengths)``)."""
+        return sum(req.tokens for req in self.requests)
+
     def stacked_rhs(self) -> np.ndarray:
         """The batched RHS: ``(B, features, token_bucket)``.
 
@@ -103,10 +118,11 @@ class MicroBatch:
 
         The model-serving layout (sequences stay un-transposed): each
         request's ``(tokens, features)`` activations occupy the leading rows
-        of its slab, zero-padded down to the bucket boundary.  Model engines
-        use exact-length buckets (``tokens == token_bucket``), where no
-        padding rows exist at all — zero rows would *not* be
-        numerics-neutral through attention's softmax.
+        of its slab, zero-padded down to the bucket boundary.  In
+        exact-length mode no padding rows exist at all; in padded
+        (``"ladder"``) mode the engine pairs this tensor with the
+        :attr:`valid_lengths` attention mask, because bare zero rows would
+        *not* be numerics-neutral through attention's softmax.
         """
         key = self.key
         out = np.zeros((self.batch_size, key.token_bucket, key.features), dtype=np.float32)
@@ -175,14 +191,37 @@ class ShapeBucketBatcher:
 
         With the ladder collapsed to ``(1,)`` every token count above 1 is
         its own exact singleton bucket, so no request is ever padded.  This
-        is the policy model-level serving needs: an encoder's attention and
-        LayerNorm mix information *across* the tokens of a sequence, so
-        zero-padding a sequence would perturb the real tokens (padded keys
-        enter the softmax denominators) — unlike the single-operator case,
-        where padded columns are independent.  Works for subclasses too
+        is the conservative policy for model-level serving: an encoder's
+        attention mixes information *across* the tokens of a sequence, so
+        zero-padding is only safe behind an explicit attention mask (the
+        engine's ``padding="ladder"`` mode); without one, exact-length
+        buckets are the only bit-exact choice.  Works for subclasses too
         (``AsyncWindowBatcher.exact_length(window_us=...)``).
         """
         return cls(token_buckets=(1,), max_batch_size=max_batch_size, **kwargs)
+
+    @classmethod
+    def ladder(
+        cls, min_rung: int = 8, max_rung: int = 4096, max_batch_size: int = 64, **kwargs
+    ) -> "ShapeBucketBatcher":
+        """A powers-of-two bucket ladder from ``min_rung`` up to ``max_rung``.
+
+        The padded-bucket policy: token counts round *up* to the next rung
+        (doubling steps bound padding waste at <2x while keeping the rung
+        count logarithmic), requests above the top rung get exact singleton
+        buckets as usual.  This is what ``padding="ladder"`` model serving
+        batches with — ragged lengths that exact-length bucketing would
+        scatter into near-empty buckets share a rung instead, and the
+        attention mask keeps the padded rows at exactly zero weight.
+        """
+        if min_rung <= 0 or max_rung < min_rung:
+            raise ValueError(f"need 0 < min_rung <= max_rung, got {min_rung}..{max_rung}")
+        rungs = []
+        rung = int(min_rung)
+        while rung <= max_rung:
+            rungs.append(rung)
+            rung *= 2
+        return cls(token_buckets=tuple(rungs), max_batch_size=max_batch_size, **kwargs)
 
     # ------------------------------------------------------------------
     # Bucketing

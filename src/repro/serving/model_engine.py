@@ -24,14 +24,24 @@ request the engine ever serves:
   uses (:meth:`per_layer_times`).
 
 Bit-exactness is the core guarantee, now model-level: serving N requests
-batched is bit-for-bit equal to N sequential ``encoder.forward`` calls.  It
-holds because the engine only stacks *same-length* sequences (exact-length
-buckets — attention's softmax and LayerNorm mix information across the
-tokens of a sequence, so zero-padding would not be numerics-neutral the way
-it is for a single GEMM) and every operator in the stack is slab-exact over
-the batch dimension: the dispatcher's batched SpMM path by construction,
-the dense layers via the batched-matmul formulation, and the attention
-matmuls / softmax / LayerNorm / GELU because they reduce within a slab.
+batched is bit-for-bit equal to N sequential ``encoder.forward`` calls.
+Two batching policies deliver it:
+
+* ``padding="exact"`` (default) stacks only *same-length* sequences.
+  Every operator in the stack is slab-exact over the batch dimension — the
+  dispatcher's batched SpMM path by construction, the dense layers via the
+  batched-matmul formulation, and the attention matmuls / softmax /
+  LayerNorm / GELU because they reduce within a slab — so same-length
+  stacking needs no masking at all.  Under ragged traffic, though, most
+  exact buckets stay near-empty.
+* ``padding="ladder"`` rounds lengths up a powers-of-two bucket ladder,
+  zero-pads each sequence to its rung, and runs one batched
+  ``encoder.forward`` behind an additive attention mask
+  (:func:`~repro.models.functional.padding_mask`): padded key positions
+  get exactly zero softmax weight, the masked encoder executes every
+  sequence at its true length (see :mod:`repro.models.attention` for why
+  bitwise equality needs that, not just exact zeros), and the engine
+  slices the valid rows back out.  Fuller buckets, same bits.
 """
 
 from __future__ import annotations
@@ -45,6 +55,7 @@ from .engine import AsyncDriverMixin
 from ..hardware.trace import ExecutionTrace
 from ..kernels.dispatch import KernelDispatcher
 from ..kernels.spatha import SpmmPlan
+from ..models.functional import padding_mask
 from ..models.layers import SparseLinear
 from ..models.transformer import TransformerEncoder
 
@@ -71,10 +82,16 @@ class ModelServingEngine(AsyncDriverMixin):
         memoized dispatch signatures unless explicitly given one dispatcher.
     batcher:
         Request batcher.  Defaults to exact-length bucketing
-        (:meth:`ShapeBucketBatcher.exact_length`), the only padding-free —
-        and therefore bit-exact — policy for sequence-mixing models; pass an
-        :class:`~repro.serving.batcher.AsyncWindowBatcher` (also
-        exact-length) for arrival-deadline window closing via :meth:`poll`.
+        (:meth:`ShapeBucketBatcher.exact_length`) in ``padding="exact"``
+        mode and the powers-of-two ladder
+        (:meth:`ShapeBucketBatcher.ladder`) in ``padding="ladder"`` mode;
+        pass an :class:`~repro.serving.batcher.AsyncWindowBatcher` built
+        the same way for arrival-deadline window closing via :meth:`poll`.
+    padding:
+        ``"exact"`` (default) refuses any batcher that would zero-pad a
+        sequence; ``"ladder"`` pads to bucket rungs behind the attention
+        mask.  Both are bit-exact per request; ladder mode trades a little
+        padded compute for far fuller buckets under ragged traffic.
     warm:
         When True (default), eagerly build every sparse projection's SpMM
         plan and pre-rank the dispatch decisions of ``warm_buckets`` so the
@@ -89,23 +106,35 @@ class ModelServingEngine(AsyncDriverMixin):
         encoder: TransformerEncoder,
         dispatcher: Optional[KernelDispatcher] = None,
         batcher: Optional[ShapeBucketBatcher] = None,
+        padding: str = "exact",
         warm: bool = True,
         warm_buckets: Sequence[int] = (),
         name: str = "encoder-serving",
     ) -> None:
         if not isinstance(encoder, TransformerEncoder):
             raise TypeError("encoder must be a TransformerEncoder")
+        if padding not in ("exact", "ladder"):
+            raise ValueError(f"padding must be 'exact' or 'ladder', got {padding!r}")
         self.encoder = encoder
         self.hidden_size = encoder.config.hidden_size
         self.name = name
+        self.padding = padding
         self.dispatcher = (
             dispatcher if dispatcher is not None else KernelDispatcher(name=f"{name}.dispatcher")
         )
         encoder.set_dispatcher(self.dispatcher)
-        self.batcher = batcher if batcher is not None else ShapeBucketBatcher.exact_length()
+        if batcher is not None:
+            self.batcher = batcher
+        elif padding == "ladder":
+            self.batcher = ShapeBucketBatcher.ladder()
+        else:
+            self.batcher = ShapeBucketBatcher.exact_length()
         self.trace = ExecutionTrace()
         self.total_requests = 0
         self.total_batches = 0
+        #: Token-level padding accounting (ladder mode; exact mode pads 0).
+        self.total_valid_tokens = 0
+        self.total_padded_tokens = 0
         #: Engine-lifetime plan registry: qualified layer name -> SpmmPlan.
         self.plans: Dict[str, SpmmPlan] = {}
         self.plan_hits = 0
@@ -211,17 +240,17 @@ class ModelServingEngine(AsyncDriverMixin):
                 f"match the encoder hidden size ({self.hidden_size})"
             )
         padded = [r for r in batch.requests if r.tokens != batch.key.token_bucket]
-        if padded:
-            # A padding batcher (the single-operator bucket ladder) would
-            # zero-pad sequences — and padded key tokens enter attention's
-            # softmax denominators, silently perturbing the real tokens.
-            # Model-level serving is only correct with exact-length buckets.
+        if padded and self.padding == "exact":
+            # Without a mask, zero-padded key tokens would enter attention's
+            # softmax denominators and silently perturb the real tokens.
+            # Exact mode therefore refuses any batcher that pads.
             raise ValueError(
                 f"{self.name}: requests {[r.request_id for r in padded]} would be "
                 f"zero-padded from their true length to the {batch.key.token_bucket}-token "
                 f"bucket, which is not numerics-neutral through attention/LayerNorm; "
-                f"model serving requires an exact-length batcher "
-                f"(ShapeBucketBatcher.exact_length() / AsyncWindowBatcher.exact_length())"
+                f"use an exact-length batcher (ShapeBucketBatcher.exact_length() / "
+                f"AsyncWindowBatcher.exact_length()) or construct the engine with "
+                f"padding='ladder' to serve padded buckets behind the attention mask"
             )
         for qualified_name, lin in self._sparse_layers():
             if lin.dispatcher is not self.dispatcher:
@@ -236,11 +265,22 @@ class ModelServingEngine(AsyncDriverMixin):
                     f"owns the encoder, or build a fresh engine"
                 )
             self._plan_for(qualified_name, lin)  # cross-request plan reuse
-        hidden = batch.stacked_activations()  # (B, seq, hidden)
-        out = self.encoder.forward(hidden)  # (B, seq, hidden), slab-exact
+        hidden = batch.stacked_activations()  # (B, bucket, hidden)
+        if padded:
+            # Ladder mode with real padding: run the one batched forward
+            # behind the right-padding attention mask — padded keys get
+            # exactly zero attention weight and the masked encoder executes
+            # every sequence at its true length, so the valid rows sliced
+            # out below are bit-for-bit the standalone forward.
+            mask = padding_mask(batch.valid_lengths, batch.key.token_bucket)
+            out = self.encoder.forward(hidden, attention_mask=mask)
+        else:
+            out = self.encoder.forward(hidden)  # (B, seq, hidden), slab-exact
         self._record_layer_executions(batch)
         self.total_batches += 1
         self.total_requests += batch.batch_size
+        self.total_valid_tokens += batch.valid_tokens
+        self.total_padded_tokens += batch.padded_tokens
         return batch.split_hidden(out)
 
     def flush(self) -> Dict[str, np.ndarray]:
@@ -282,6 +322,15 @@ class ModelServingEngine(AsyncDriverMixin):
             "mean_batch_size": (self.total_requests / self.total_batches)
             if self.total_batches
             else 0.0,
+            "padding": {
+                "mode": self.padding,
+                "valid_tokens": self.total_valid_tokens,
+                "bucket_tokens": self.total_padded_tokens,
+                # Fraction of bucket rows holding real tokens (1.0 = no padding).
+                "fill": (self.total_valid_tokens / self.total_padded_tokens)
+                if self.total_padded_tokens
+                else 0.0,
+            },
             "sparse_projections": len(self._sparse_layers()),
             "plan_cache": {
                 "size": len(self.plans),

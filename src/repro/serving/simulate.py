@@ -81,6 +81,8 @@ class ServingSimReport:
     trace: ExecutionTrace = field(default_factory=ExecutionTrace)
     #: Window-closing policy the run used ("fixed" grid or "async" deadlines).
     window_policy: str = "fixed"
+    #: Bucket policy the run used ("ladder" padded rungs or "exact" lengths).
+    bucketing: str = "ladder"
 
     @property
     def throughput_rps(self) -> float:
@@ -113,6 +115,7 @@ class ServingSimReport:
         return {
             "window_us": self.window_us,
             "window_policy": self.window_policy,
+            "bucketing": self.bucketing,
             "requests": self.num_requests,
             "batches": self.num_batches,
             "mean_batch_size": round(self.mean_batch_size, 2),
@@ -170,6 +173,7 @@ def simulate_serving(
     dispatcher: Optional[KernelDispatcher] = None,
     batcher: Optional[ShapeBucketBatcher] = None,
     window_policy: str = "fixed",
+    bucketing: str = "ladder",
 ) -> ServingSimReport:
     """Replay ``requests`` through a windowed dynamic batcher on the model.
 
@@ -182,13 +186,27 @@ def simulate_serving(
     first arrival + ``window_us`` — so queueing delay is bounded by the
     window for *every* request instead of depending on where in the grid it
     happened to arrive (see :func:`plan_async_closings`).
+
+    ``bucketing`` selects how requests group inside a closing, mirroring
+    the model engine's ``padding`` modes: ``"ladder"`` rounds token counts
+    up the batcher's rungs (padded buckets — each batch costs the kernel at
+    its *padded* column count, the price of fuller batches), ``"exact"``
+    only groups identical token counts (no padded columns, but ragged
+    traffic fragments into near-singleton batches).  Both compose with
+    either ``window_policy``, so exact/padded x fixed/async sweeps run side
+    by side.
     """
     if window_policy not in {"fixed", "async"}:
         raise ValueError(f"unknown window_policy {window_policy!r}; use 'fixed' or 'async'")
+    if bucketing not in {"ladder", "exact"}:
+        raise ValueError(f"unknown bucketing {bucketing!r}; use 'ladder' or 'exact'")
     dispatcher = dispatcher if dispatcher is not None else KernelDispatcher()
     batcher = batcher if batcher is not None else ShapeBucketBatcher()
     if not requests:
         raise ValueError("requests must be non-empty")
+
+    def bucket_tokens(tokens: int) -> int:
+        return tokens if bucketing == "exact" else batcher.token_bucket(tokens)
 
     trace = ExecutionTrace()
     latencies: Dict[str, float] = {}
@@ -206,7 +224,7 @@ def simulate_serving(
         ]
     elif window_policy == "async":
         closings = plan_async_closings(
-            requests, window_us, bucket_of=lambda r: batcher.token_bucket(r.tokens)
+            requests, window_us, bucket_of=lambda r: bucket_tokens(r.tokens)
         )
     else:
         grouped: Dict[int, List[SimulatedRequest]] = {}
@@ -222,7 +240,7 @@ def simulate_serving(
         planned = batcher.plan_batches(
             members,
             key_of=lambda r: BucketKey(
-                features=operand.k, token_bucket=batcher.token_bucket(r.tokens)
+                features=operand.k, token_bucket=bucket_tokens(r.tokens)
             ),
             id_of=lambda r: r.request_id,
         )
@@ -256,6 +274,7 @@ def simulate_serving(
         latencies_us=latencies,
         trace=trace,
         window_policy=window_policy,
+        bucketing=bucketing,
     )
 
 
@@ -266,13 +285,15 @@ def sweep_batch_windows(
     dispatcher: Optional[KernelDispatcher] = None,
     batcher: Optional[ShapeBucketBatcher] = None,
     window_policy: str = "fixed",
+    bucketing: str = "ladder",
 ) -> List[ServingSimReport]:
     """Requests/s vs batch window: one simulated run per window setting.
 
     A shared dispatcher keeps the decision/tuner caches warm across the
-    sweep, mirroring a long-running server.  ``window_policy`` is forwarded
-    to :func:`simulate_serving` (``"async"`` sweeps arrival-deadline
-    closing instead of the fixed grid).
+    sweep, mirroring a long-running server.  ``window_policy`` and
+    ``bucketing`` are forwarded to :func:`simulate_serving` (``"async"``
+    sweeps arrival-deadline closing instead of the fixed grid; ``"exact"``
+    sweeps exact-length buckets instead of the padded ladder).
     """
     dispatcher = dispatcher if dispatcher is not None else KernelDispatcher()
     return [
@@ -283,6 +304,7 @@ def sweep_batch_windows(
             dispatcher=dispatcher,
             batcher=batcher,
             window_policy=window_policy,
+            bucketing=bucketing,
         )
         for w in windows_us
     ]

@@ -1,0 +1,270 @@
+"""Attention-mask plumbing at the model layer.
+
+The padded-bucket serving contract rests on three model-level properties,
+each pinned here below the serving layer so a failure localises:
+
+(a) an all-valid mask is *bit-identical* to no mask at all, at every level
+    (softmax, attention, encoder layer, encoder stack);
+(b) masked softmax assigns **exactly** ``0.0`` weight to padded keys —
+    ``exp(-inf)`` is an exact IEEE zero, not a small number;
+(c) bucket-boundary lengths (a rung, rung+1, the max rung, beyond the max
+    rung) round-trip through the ladder batcher's padded stacking and come
+    out bit-for-bit the unpadded forward.
+
+Plus the structural piece the guarantees hang off: right-padding masks are
+recognised (and anything else — causal, ALiBi-like biases, scattered
+``-inf`` — is not, and falls back to the general masked path).
+"""
+
+import numpy as np
+import pytest
+
+from repro.integration import VNMSparsifier, sparsify_encoder
+from repro.models import TransformerEncoder, tiny_config
+from repro.models.functional import (
+    attention_scores,
+    mask_valid_lengths,
+    padding_mask,
+    softmax,
+)
+from repro.serving import Request, ShapeBucketBatcher
+
+HIDDEN = 64
+
+
+def make_encoder(num_layers=1, seed=0, sparse=True):
+    cfg = tiny_config(
+        hidden_size=HIDDEN, num_layers=num_layers, num_heads=4, intermediate_size=128
+    )
+    encoder = TransformerEncoder.init(cfg, seed=seed)
+    if sparse:
+        sparsify_encoder(encoder, VNMSparsifier(n=2, m=8, v=16))
+    return encoder
+
+
+def padded_batch(rng, lengths, bucket):
+    """Right-padded activations + the sequences they were built from."""
+    seqs = [rng.normal(size=(t, HIDDEN)).astype(np.float32) for t in lengths]
+    hidden = np.zeros((len(lengths), bucket, HIDDEN), dtype=np.float32)
+    for i, seq in enumerate(seqs):
+        hidden[i, : len(seq)] = seq
+    return hidden, seqs
+
+
+class TestMaskHelpers:
+    def test_padding_mask_shape_and_values(self):
+        mask = padding_mask([2, 5, 5], 5)
+        assert mask.shape == (3, 1, 1, 5)
+        assert mask.dtype == np.float32
+        assert np.all(mask[0, 0, 0] == [0.0, 0.0, -np.inf, -np.inf, -np.inf])
+        assert np.all(mask[1] == 0.0)
+
+    @pytest.mark.parametrize(
+        "lengths,total", [([], 4), ([0, 2], 4), ([5], 4), ([-1], 4), ([2], 0)]
+    )
+    def test_padding_mask_rejects_invalid_lengths(self, lengths, total):
+        with pytest.raises(ValueError):
+            padding_mask(lengths, total)
+
+    def test_valid_lengths_round_trip(self):
+        lengths = [1, 3, 8, 8, 2]
+        recovered = mask_valid_lengths(padding_mask(lengths, 8))
+        assert recovered.tolist() == lengths
+
+    def test_layer_hook_composes_with_padded_forward(self, rng):
+        """With a hook, the stack falls back to per-layer masking so the
+        hook still observes full-batch padded-layout outputs — and the
+        bits match the hook-free grouped path."""
+        encoder = make_encoder(num_layers=2)
+        lengths = [2, 5, 8]
+        hidden, _ = padded_batch(rng, lengths, bucket=8)
+        mask = padding_mask(lengths, 8)
+        seen = []
+        hooked = encoder.forward(
+            hidden, layer_hook=lambda i, h: seen.append((i, h.shape)), attention_mask=mask
+        )
+        assert seen == [(0, (3, 8, HIDDEN)), (1, (3, 8, HIDDEN))]
+        assert np.array_equal(hooked, encoder.forward(hidden, attention_mask=mask))
+
+    def test_non_padding_masks_are_not_misread(self):
+        # Causal: per-query structure, must use the general path (and a 2-D
+        # mask broadcasts as (seq_q, seq_k), never as (batch, seq_k)).
+        causal = np.triu(np.full((5, 5), -np.inf, dtype=np.float32), k=1)
+        assert mask_valid_lengths(causal) is None
+        # 3-D masks broadcast their leading axis onto *heads*, so reading
+        # it as the batch would contradict the additive path — only the
+        # explicit (batch, 1, 1, seq_k) shape is per-sequence.
+        assert mask_valid_lengths(padding_mask([3, 4], 5)[:, 0]) is None
+        # Scattered -inf: not a prefix.
+        holes = padding_mask([3, 4], 5).copy()
+        holes[0, 0, 0, 1] = -np.inf
+        assert mask_valid_lengths(holes) is None
+        # Finite bias (ALiBi-style): not a 0/-inf mask.
+        bias = np.zeros((2, 1, 1, 5), dtype=np.float32)
+        bias[0, 0, 0, 4] = -0.5
+        assert mask_valid_lengths(bias) is None
+        # A fully-masked sequence is invalid, not length-0.
+        empty = np.full((2, 1, 1, 5), -np.inf, dtype=np.float32)
+        empty[1, 0, 0, :3] = 0.0
+        assert mask_valid_lengths(empty) is None
+
+
+class TestMaskedSoftmax:
+    def test_all_valid_mask_bit_identical(self, rng):
+        x = rng.normal(size=(2, 4, 7, 7)).astype(np.float32)
+        assert np.array_equal(softmax(x, mask=padding_mask([7, 7], 7)), softmax(x))
+        assert np.array_equal(softmax(x, mask=np.zeros((2, 1, 1, 7), np.float32)), softmax(x))
+
+    def test_padded_keys_get_exactly_zero_weight(self, rng):
+        x = (rng.normal(size=(3, 4, 6, 6)) * 30.0).astype(np.float32)  # spread logits
+        lengths = [2, 6, 4]
+        probs = softmax(x, mask=padding_mask(lengths, 6))
+        for b, t in enumerate(lengths):
+            assert np.all(probs[b, :, :, t:] == 0.0)  # exact zeros, not tiny
+            assert np.allclose(probs[b, :, :, :t].sum(axis=-1), 1.0, atol=1e-6)
+
+    def test_general_masks_also_get_exact_zeros(self, rng):
+        x = rng.normal(size=(2, 2, 5, 5)).astype(np.float32)
+        causal = np.triu(np.full((5, 5), -np.inf, dtype=np.float32), k=1)
+        probs = softmax(x, mask=causal)
+        i, j = np.triu_indices(5, k=1)
+        assert np.all(probs[..., i, j] == 0.0)
+        assert np.allclose(probs.sum(axis=-1), 1.0, atol=1e-6)
+
+    def test_fully_masked_rows_are_zero_not_nan(self, rng):
+        x = rng.normal(size=(1, 1, 2, 3)).astype(np.float32)
+        mask = np.full((1, 1, 2, 3), -np.inf, dtype=np.float32)
+        mask[0, 0, 0, :2] = 0.0  # row 0 keeps two keys, row 1 none
+        probs = softmax(x, mask=mask)
+        assert np.all(np.isfinite(probs))
+        assert np.all(probs[0, 0, 1] == 0.0)
+
+    def test_attention_scores_additive_mask(self, rng):
+        q = rng.normal(size=(1, 2, 4, 8)).astype(np.float32)
+        k = rng.normal(size=(1, 2, 4, 8)).astype(np.float32)
+        mask = padding_mask([3], 4)
+        scores = attention_scores(q, k, mask=mask)
+        assert np.all(np.isneginf(scores[..., :, 3]))
+        assert np.array_equal(scores[..., :3], attention_scores(q, k)[..., :3])
+
+
+class TestMaskedForwardBitExactness:
+    def test_all_valid_mask_bit_identical_through_stack(self, rng):
+        encoder = make_encoder(num_layers=2)
+        hidden = rng.normal(size=(3, 9, HIDDEN)).astype(np.float32)
+        mask = padding_mask([9, 9, 9], 9)
+        layer = encoder.layers[0]
+        assert np.array_equal(
+            layer.attention.forward(hidden, mask=mask), layer.attention.forward(hidden)
+        )
+        assert np.array_equal(layer.forward(hidden, attention_mask=mask), layer.forward(hidden))
+        assert np.array_equal(
+            encoder.forward(hidden, attention_mask=mask), encoder.forward(hidden)
+        )
+
+    def test_attention_valid_rows_match_unpadded_bits(self, rng):
+        attention = make_encoder().layers[0].attention
+        lengths = [1, 3, 7, 7, 8]  # includes the GEMV-shaped single-token case
+        hidden, seqs = padded_batch(rng, lengths, bucket=8)
+        out, probs = attention.forward(
+            hidden, return_probs=True, mask=padding_mask(lengths, 8)
+        )
+        for i, seq in enumerate(seqs):
+            t = len(seq)
+            ref_out, ref_probs = attention.forward(seq[None], return_probs=True)
+            assert np.array_equal(out[i, :t], ref_out[0])
+            assert np.all(out[i, t:] == 0.0)
+            assert np.array_equal(probs[i, :, :t, :t], ref_probs[0])
+            assert np.all(probs[i, :, :, t:] == 0.0)  # padded keys: exactly zero
+
+    def test_encoder_valid_rows_match_unpadded_bits(self, rng):
+        encoder = make_encoder(num_layers=2)
+        lengths = [1, 5, 7, 8, 5]
+        hidden, seqs = padded_batch(rng, lengths, bucket=8)
+        out = encoder.forward(hidden, attention_mask=padding_mask(lengths, 8))
+        for i, seq in enumerate(seqs):
+            t = len(seq)
+            assert np.array_equal(out[i, :t], encoder.forward(seq[None])[0])
+            assert np.all(out[i, t:] == 0.0)
+
+    def test_mask_width_mismatch_fails_loudly(self, rng):
+        """A padding mask built for the wrong bucket width must raise, not
+        silently clamp the claimed lengths to the activations."""
+        encoder = make_encoder()
+        hidden = rng.normal(size=(2, 6, HIDDEN)).astype(np.float32)
+        bad_mask = padding_mask([8, 3], 8)  # claims 8 key positions, seq is 6
+        with pytest.raises(ValueError, match="8 key positions.*6 tokens"):
+            encoder.forward(hidden, attention_mask=bad_mask)
+        with pytest.raises(ValueError, match="8 key positions.*6 tokens"):
+            encoder.layers[0].forward(hidden, attention_mask=bad_mask)
+        with pytest.raises(ValueError, match="8 key positions.*6 tokens"):
+            encoder.layers[0].attention.forward(hidden, mask=bad_mask)
+
+    def test_dense_encoder_also_bit_exact(self, rng):
+        encoder = make_encoder(sparse=False)
+        lengths = [2, 4, 4, 3]
+        hidden, seqs = padded_batch(rng, lengths, bucket=4)
+        out = encoder.forward(hidden, attention_mask=padding_mask(lengths, 4))
+        for i, seq in enumerate(seqs):
+            assert np.array_equal(out[i, : len(seq)], encoder.forward(seq[None])[0])
+
+    def test_general_mask_matches_reference_computation(self, rng):
+        """The non-prefix fallback: causal masking agrees with a per-row
+        reference softmax over the allowed keys."""
+        attention = make_encoder(sparse=False).layers[0].attention
+        hidden = rng.normal(size=(2, 5, HIDDEN)).astype(np.float32)
+        causal = np.triu(np.full((5, 5), -np.inf, dtype=np.float32), k=1)
+        _, probs = attention.forward(hidden, return_probs=True, mask=causal)
+        _, raw = attention.forward(hidden, return_probs=True)
+        scores = np.log(raw)  # log-probs differ from scores by a per-row constant
+        for i in range(5):
+            ref = np.exp(scores[..., i, : i + 1])
+            ref = ref / ref.sum(axis=-1, keepdims=True)
+            assert np.allclose(probs[..., i, : i + 1], ref, atol=1e-6)
+            assert np.all(probs[..., i, i + 1 :] == 0.0)
+
+
+class TestLadderRoundTrip:
+    """(c) bucket-boundary lengths through the ladder batcher's stacking."""
+
+    def test_ladder_rounds_lengths_up(self):
+        batcher = ShapeBucketBatcher.ladder(min_rung=8, max_rung=32)
+        assert batcher.token_buckets == (8, 16, 32)
+        for tokens, rung in [(1, 8), (8, 8), (9, 16), (16, 16), (17, 32), (32, 32)]:
+            assert batcher.token_bucket(tokens) == rung
+        assert batcher.token_bucket(33) == 33  # beyond the top rung: exact singleton
+
+    def test_ladder_rejects_bad_rungs(self):
+        with pytest.raises(ValueError):
+            ShapeBucketBatcher.ladder(min_rung=0)
+        with pytest.raises(ValueError):
+            ShapeBucketBatcher.ladder(min_rung=16, max_rung=8)
+
+    @pytest.mark.parametrize("tokens", [8, 9, 16, 17])  # rung, rung+1, max, beyond
+    def test_boundary_lengths_round_trip_bit_exact(self, rng, tokens):
+        encoder = make_encoder()
+        batcher = ShapeBucketBatcher.ladder(min_rung=8, max_rung=16)
+        request = Request("boundary", rng.normal(size=(tokens, HIDDEN)).astype(np.float32))
+        batcher.submit(request)
+        (batch,) = batcher.drain()
+        bucket = batch.key.token_bucket
+        assert bucket == batcher.token_bucket(tokens)
+        hidden = batch.stacked_activations()
+        assert hidden.shape == (1, bucket, HIDDEN)
+        out = encoder.forward(
+            hidden, attention_mask=padding_mask(batch.valid_lengths, bucket)
+        )
+        result = batch.split_hidden(out)["boundary"]
+        assert result.shape == (tokens, HIDDEN)
+        assert np.array_equal(result, encoder.forward(request.activations[None])[0])
+
+    def test_mixed_boundary_batch_shares_one_bucket(self, rng):
+        batcher = ShapeBucketBatcher.ladder(min_rung=8, max_rung=16)
+        lengths = [9, 12, 16]
+        for i, t in enumerate(lengths):
+            batcher.submit(Request(f"r{i}", rng.normal(size=(t, HIDDEN)).astype(np.float32)))
+        (batch,) = batcher.drain()  # all round up to the 16 rung
+        assert batch.key.token_bucket == 16
+        assert batch.valid_lengths == (9, 12, 16)
+        assert batch.valid_tokens == 37
+        assert batch.padded_tokens == 48

@@ -5,8 +5,12 @@ single-operator tests: batched encoder serving through
 :class:`~repro.serving.model_engine.ModelServingEngine` is **bit-for-bit**
 equal to sequential per-request ``TransformerEncoder.forward`` calls, for
 every cell of a (V:N:M pattern x num_layers x ragged request lengths x
-backend) grid.  The full matrix is marked ``slow``; a four-cell smoke
-subset stays in tier-1 so every CI run still crosses all four grid axes.
+backend) grid — in *both* batching modes: exact-length bucketing and the
+padded bucket ladder (``padding="ladder"``), whose cells additionally pin
+that ragged lengths consolidate into fewer, fuller buckets than
+exact-length bucketing would produce.  The full matrices are marked
+``slow``; smoke subsets stay in tier-1 so every CI run still crosses all
+grid axes.
 
 Also here: the plan-cache hit/miss accounting (cross-request reuse is the
 point of the engine-lifetime registry) and the dispatcher cache-isolation
@@ -110,6 +114,69 @@ SMOKE_GRID = [
     ((8, 2, 4), 1, [3, 7, 7, 12], "cublas-dense"),
 ]
 
+#: Ragged length sets for the padded-ladder cells: every set crosses at
+#: least one rung boundary of the (8, 16, ...) ladder, and the first
+#: includes the single-token (GEMV-shaped) edge case.
+PADDED_LENGTH_SETS = [
+    [1, 3, 5, 7, 8],  # one 8-rung bucket
+    [3, 7, 9, 12, 16, 17],  # 8-, 16- and 32-rung buckets
+    [8, 9, 16, 17, 33],  # every boundary: rung, rung+1, next rung
+]
+
+PADDED_FULL_GRID = [
+    (p, l, s, b)
+    for p in PATTERNS
+    for l in LAYER_COUNTS
+    for s in PADDED_LENGTH_SETS
+    for b in BACKENDS
+]
+
+#: Tier-1 padded smoke subset, crossing every axis like SMOKE_GRID does.
+PADDED_SMOKE_GRID = [
+    ((16, 2, 8), 1, [1, 3, 5, 7, 8], "auto"),
+    ((8, 2, 4), 2, [3, 7, 9, 12, 16, 17], "cublas-dense"),
+    ((16, 2, 8), 2, [8, 9, 16, 17, 33], "cublas-dense"),
+    ((8, 2, 4), 1, [8, 9, 16, 17, 33], "auto"),
+]
+
+
+def assert_padded_golden_cell(pattern, num_layers, lengths, backend, rng):
+    """One padded-ladder grid cell: valid rows == standalone forward, bit
+    for bit, while ragged lengths consolidate into fewer, fuller buckets."""
+    encoder = make_encoder(pattern, num_layers)
+    engine = ModelServingEngine(
+        encoder,
+        dispatcher=backend_dispatcher(backend),
+        padding="ladder",
+        name=f"golden-padded-{backend}",
+    )
+    requests = make_requests(rng, lengths)
+    batched = engine.serve(requests)
+
+    assert set(batched) == {r.request_id for r in requests}
+    for request in requests:
+        sequential = encoder.forward(request.activations[None])[0]
+        assert batched[request.request_id].shape == (request.tokens, HIDDEN)
+        assert np.array_equal(batched[request.request_id], sequential), (
+            f"padded cell (pattern={pattern}, layers={num_layers}, backend={backend}) "
+            f"diverged on {request.request_id} (tokens={request.tokens})"
+        )
+
+    stats = engine.stats()
+    # The consolidation the ladder exists for: strictly fewer micro-batches
+    # than exact-length bucketing (one per distinct length) would produce.
+    exact_buckets = len(set(lengths))
+    assert stats["batches"] < exact_buckets
+    padding = stats["padding"]
+    assert padding["mode"] == "ladder"
+    assert padding["valid_tokens"] == sum(lengths)
+    assert padding["bucket_tokens"] >= padding["valid_tokens"]
+    assert 0.0 < padding["fill"] <= 1.0
+    # Plan-cache accounting carries over to the padded path unchanged.
+    assert stats["plan_cache"]["misses"] == 0
+    assert stats["plan_cache"]["hits"] == stats["batches"] * 6 * num_layers
+    return engine
+
 
 class TestGoldenMatrix:
     @pytest.mark.parametrize("pattern,num_layers,lengths,backend", SMOKE_GRID)
@@ -120,6 +187,49 @@ class TestGoldenMatrix:
     @pytest.mark.parametrize("pattern,num_layers,lengths,backend", FULL_GRID)
     def test_full_matrix(self, rng, pattern, num_layers, lengths, backend):
         assert_golden_cell(pattern, num_layers, lengths, backend, rng)
+
+    @pytest.mark.parametrize("pattern,num_layers,lengths,backend", PADDED_SMOKE_GRID)
+    def test_padded_smoke_cells(self, rng, pattern, num_layers, lengths, backend):
+        assert_padded_golden_cell(pattern, num_layers, lengths, backend, rng)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("pattern,num_layers,lengths,backend", PADDED_FULL_GRID)
+    def test_padded_full_matrix(self, rng, pattern, num_layers, lengths, backend):
+        assert_padded_golden_cell(pattern, num_layers, lengths, backend, rng)
+
+    def test_padded_and_exact_engines_agree_bitwise(self, rng):
+        """The two bit-exact policies must agree with each other, not just
+        with the standalone forward (same weights, different encoders so
+        each engine owns its routing)."""
+        lengths = [1, 5, 7, 9, 9, 12, 17]
+        requests = make_requests(rng, lengths)
+        exact = ModelServingEngine(make_encoder((16, 2, 8), 1), name="exact")
+        padded = ModelServingEngine(make_encoder((16, 2, 8), 1), padding="ladder", name="padded")
+        exact_out = exact.serve(requests)
+        padded_out = padded.serve(requests)
+        for rid in exact_out:
+            assert np.array_equal(exact_out[rid], padded_out[rid]), rid
+        assert padded.total_batches < exact.total_batches
+
+    def test_padded_async_windows_preserve_bits(self, rng):
+        """Arrival-deadline windows compose with the padded ladder: timing
+        changes which rung-buckets close together, never the numbers."""
+        encoder = make_encoder((16, 2, 8), 1)
+        requests = make_requests(rng, [1, 5, 7, 9, 12, 17])
+        one_window = ModelServingEngine(encoder, padding="ladder").serve(requests)
+        for window_us in (25.0, 400.0):
+            engine = ModelServingEngine(
+                encoder,
+                padding="ladder",
+                batcher=AsyncWindowBatcher.ladder(window_us=window_us),
+            )
+            timed = [
+                Request(r.request_id, r.activations, arrival_us=i * 50.0)
+                for i, r in enumerate(requests)
+            ]
+            results = engine.serve_arrivals(timed)
+            for rid in one_window:
+                assert np.array_equal(results[rid], one_window[rid]), (window_us, rid)
 
     def test_arrival_order_invariance(self, rng):
         encoder = make_encoder((16, 2, 8), 1)
@@ -278,6 +388,10 @@ class TestModelEngineApi:
         with pytest.raises(TypeError):
             ModelServingEngine(object())
 
+    def test_rejects_unknown_padding_mode(self):
+        with pytest.raises(ValueError, match="padding"):
+            ModelServingEngine(make_encoder((16, 2, 8), 1), padding="zeros")
+
     def test_feature_mismatch_rejected_with_clear_error(self, rng):
         engine = ModelServingEngine(make_encoder((16, 2, 8), 1))
         bad = Request("bad", rng.normal(size=(4, HIDDEN + 1)).astype(np.float32))
@@ -287,6 +401,19 @@ class TestModelEngineApi:
         with pytest.raises(ValueError, match="hidden size"):
             engine.serve([good, bad])
         assert engine.batcher.pending == 0  # atomic intake
+
+    def test_padded_path_shares_intake_validation(self, rng):
+        """The padded mode reuses _validate: a mismatched request fails at
+        intake with the same message naming the request id and the
+        expected hidden width, and leaves nothing queued."""
+        engine = ModelServingEngine(make_encoder((16, 2, 8), 1), padding="ladder")
+        bad = Request("bad-padded", rng.normal(size=(4, HIDDEN + 1)).astype(np.float32))
+        with pytest.raises(ValueError, match=r"'bad-padded'.*\b64\b"):
+            engine.submit(bad)
+        good = make_requests(rng, [4])[0]
+        with pytest.raises(ValueError, match=r"'bad-padded'.*\b64\b"):
+            engine.serve([good, bad])
+        assert engine.batcher.pending == 0  # atomic intake in padded mode too
 
     def test_per_layer_trace_aggregation(self, rng):
         engine = ModelServingEngine(make_encoder((16, 2, 8), 2))
