@@ -32,7 +32,13 @@ from repro.kernels import cusparse, sputnik
 from repro.kernels.dispatch import KernelDispatcher
 from repro.kernels.spatha import SpmmPlan, spmm_loop_reference
 from repro.models import TransformerEncoder, tiny_config
-from repro.serving import ModelServingEngine, Request, ServingEngine
+from repro.serving import (
+    AsyncWindowBatcher,
+    ContinuousBatcher,
+    ModelServingEngine,
+    Request,
+    ServingEngine,
+)
 from repro.pruning.second_order.fisher import (
     estimate_block_fisher,
     estimate_block_fisher_reference,
@@ -425,6 +431,127 @@ def bench_model_serving_padded(
     entries.append(entry)
 
 
+def bench_model_serving_continuous(
+    entries, hidden, intermediate, num_layers, num_requests, max_len, gap_us, window_us, rng
+):
+    """Continuous batching vs async windows at equal offered load (p99 latency).
+
+    The same ragged arrival schedule (one request every ``gap_us``) is
+    replayed through two ladder-mode engines on identically initialised
+    encoders: the async policy holds each rung open ``window_us`` after its
+    oldest arrival; the continuous policy steps the engine whenever the
+    executor frees, admitting whatever has arrived by then.  Both replays
+    execute the real masked forwards and charge each batch its *measured*
+    wall-clock duration on a virtual serving clock, so per-request
+    completion latency is measured execution under an analytic arrival
+    process — deterministic load, real kernels.
+
+    What the p99 gap is: an async request waits out its rung's window even
+    when the executor sits idle; a continuous request waits only for the
+    executor.  Throughput is equal by construction (same offered load, both
+    policies serve every request), outputs are bit-identical (same
+    execution path), so the tail-latency drop is pure scheduling.
+    """
+    def build_engine(batcher, name):
+        cfg = tiny_config(
+            hidden_size=hidden, num_layers=num_layers, num_heads=4,
+            intermediate_size=intermediate,
+        )
+        encoder = TransformerEncoder.init(cfg, seed=0)
+        sparsify_encoder(encoder, VNMSparsifier(n=2, m=8, v=16))
+        return ModelServingEngine(encoder, padding="ladder", batcher=batcher, name=name)
+
+    lengths = [int(t) for t in rng.integers(1, max_len + 1, size=num_requests)]
+    requests = [
+        Request(f"cont-{i:04d}", rng.normal(size=(t, hidden)).astype(np.float32),
+                arrival_us=i * gap_us)
+        for i, t in enumerate(lengths)
+    ]
+    async_engine = build_engine(AsyncWindowBatcher.ladder(window_us=window_us), "bench-async")
+    cont_engine = build_engine(ContinuousBatcher.ladder(), "bench-continuous")
+    latencies = {}
+
+    def replay_async():
+        """serve_arrivals with each closed batch timed on a virtual clock."""
+        batcher, lat, out, gpu_free_us = async_engine.batcher, {}, {}, 0.0
+
+        def run_due(now_us):
+            nonlocal gpu_free_us
+            for batch in batcher.drain_due(now_us):
+                close_us = min(r.arrival_us for r in batch.requests) + batcher.window_us
+                t0 = time.perf_counter()
+                out.update(async_engine._execute_batch(batch))
+                exec_us = (time.perf_counter() - t0) * 1e6
+                finish_us = max(close_us, gpu_free_us) + exec_us
+                gpu_free_us = finish_us
+                for r in batch.requests:
+                    lat[r.request_id] = finish_us - r.arrival_us
+
+        for req in sorted(requests, key=lambda r: (r.arrival_us, r.request_id)):
+            run_due(req.arrival_us)
+            async_engine.submit(req)
+        while (deadline := batcher.next_deadline_us()) is not None:
+            run_due(deadline)
+        latencies["async"] = lat
+        return np.concatenate([out[r.request_id] for r in requests])
+
+    arrival_of = {r.request_id: r.arrival_us for r in requests}
+    steps_in_replay = {}
+
+    def replay_continuous():
+        """The step loop: admit what has arrived, run one timed step, repeat."""
+        batcher, lat, out, steps = cont_engine.batcher, {}, {}, 0
+        order = sorted(requests, key=lambda r: (r.arrival_us, r.request_id))
+        now_us, admitted = 0.0, 0
+        while admitted < len(order) or batcher.pending:
+            if not batcher.pending and order[admitted].arrival_us > now_us:
+                now_us = order[admitted].arrival_us
+            while admitted < len(order) and order[admitted].arrival_us <= now_us:
+                cont_engine.submit(order[admitted])
+                admitted += 1
+            t0 = time.perf_counter()
+            res = cont_engine.step(now_us)
+            exec_us = (time.perf_counter() - t0) * 1e6
+            now_us += exec_us  # the executor frees; next step admits up to here
+            steps += 1
+            out.update(res)
+            for rid in res:
+                lat[rid] = now_us - arrival_of[rid]
+        latencies["continuous"] = lat
+        steps_in_replay["continuous"] = steps
+        return np.concatenate([out[r.request_id] for r in requests])
+
+    # One throwaway replay per engine outside the timed/recorded region so
+    # dispatch-signature ranking and plan builds are steady-state for both.
+    replay_async()
+    replay_continuous()
+
+    entry = _entry(
+        "serving.encoder_continuous",
+        f"h{hidden}/i{intermediate} L{num_layers} {num_requests}r@{gap_us:.0f}us w{window_us:.0f}",
+        replay_async,
+        replay_continuous,
+        _array_diff,
+        ref_repeats=1,
+        vec_repeats=1,
+    )
+    p = lambda vals, q: round(float(np.percentile(list(vals), q)), 1)  # noqa: E731
+    entry["offered_rps"] = round(1e6 / gap_us, 1)
+    entry["window_us"] = window_us
+    entry["p50_latency_us_async"] = p(latencies["async"].values(), 50)
+    entry["p99_latency_us_async"] = p(latencies["async"].values(), 99)
+    entry["p50_latency_us_continuous"] = p(latencies["continuous"].values(), 50)
+    entry["p99_latency_us_continuous"] = p(latencies["continuous"].values(), 99)
+    entry["steps_continuous"] = steps_in_replay["continuous"]
+    print(
+        f"{'':28s} {'':28s} p99 latency {entry['p99_latency_us_async']:9.1f} -> "
+        f"{entry['p99_latency_us_continuous']:9.1f} us "
+        f"(p50 {entry['p50_latency_us_async']:.1f} -> {entry['p50_latency_us_continuous']:.1f}) "
+        f"at {entry['offered_rps']:.0f} req/s offered"
+    )
+    entries.append(entry)
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="small shapes (~2 s total)")
@@ -450,6 +577,10 @@ def main():
         bench_model_serving_padded(
             entries, hidden=64, intermediate=128, num_layers=1,
             num_requests=24, max_len=24, rng=rng,
+        )
+        bench_model_serving_continuous(
+            entries, hidden=64, intermediate=128, num_layers=1,
+            num_requests=24, max_len=24, gap_us=2000.0, window_us=50000.0, rng=rng,
         )
     else:
         # The acceptance case: 4096-cube, V:N:M = 16:2:4 (2:4 with V-blocked
@@ -477,6 +608,18 @@ def main():
         bench_model_serving_padded(
             entries, hidden=256, intermediate=1024, num_layers=2,
             num_requests=64, max_len=48, rng=rng,
+        )
+        # Continuous batching vs async windows on the same ragged arrival
+        # schedule: a request joins whatever its rung is doing the moment
+        # the executor frees, instead of waiting out a 50 ms window — the
+        # p99 completion latency drops by roughly the window while offered
+        # load (and bits) stay identical.  The 50 req/s offered rate keeps
+        # this encoder (~8 ms/request measured) under saturation: past
+        # capacity both policies degenerate to executor queueing and the
+        # scheduling comparison measures nothing.
+        bench_model_serving_continuous(
+            entries, hidden=256, intermediate=1024, num_layers=2,
+            num_requests=64, max_len=48, gap_us=20000.0, window_us=50000.0, rng=rng,
         )
 
     for entry in entries:  # drop the raw-timing scratch keys from the record

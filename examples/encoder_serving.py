@@ -19,9 +19,15 @@ The walk-through:
 5. re-serve the same ragged window in padded-bucket mode
    (``padding="ladder"``): lengths round up a powers-of-two ladder and run
    behind the additive attention mask, consolidating the near-empty
-   exact-length buckets into a few full ones at — again — the same bits, and
-6. sweep exact vs padded bucketing x fixed vs async window closing on the
-   modelled GPU for the capacity view.
+   exact-length buckets into a few full ones at — again — the same bits,
+6. serve the same traffic **continuously**
+   (:class:`~repro.serving.continuous.ContinuousBatcher` +
+   ``serve_continuous``): no windows at all — requests join open ladder
+   rungs between engine steps and leave as they complete, with
+   deterministic per-request completion metadata and, once more, the same
+   bits, and
+7. sweep exact vs padded bucketing x fixed vs async vs continuous
+   scheduling on the modelled GPU for the capacity view.
 
 Run with::
 
@@ -38,6 +44,7 @@ from repro.kernels.dispatch import SpmmOperand
 from repro.models import BERT_LARGE, TransformerEncoder
 from repro.serving import (
     AsyncWindowBatcher,
+    ContinuousBatcher,
     ModelServingEngine,
     Request,
     SimulatedRequest,
@@ -148,8 +155,37 @@ def main() -> None:
     print(f"padded outputs bit-identical to exact-length serving: {padded_identical}")
 
     # ------------------------------------------------------------------
-    # 6. Exact vs padded bucketing x fixed vs async window closing on the
-    #    modelled GPU (FFN operand).
+    # 6. Continuous batching: no windows — requests join open rungs
+    #    between engine steps, completions stream out deterministically.
+    # ------------------------------------------------------------------
+    cont_encoder = TransformerEncoder.init(BERT_LARGE, num_layers=num_layers, seed=0)
+    sparsify_encoder(cont_encoder, VNMSparsifier(n=2, m=8, v=64))
+    cont_engine = ModelServingEngine(
+        cont_encoder,
+        padding="ladder",
+        batcher=ContinuousBatcher.ladder(),
+        name="bert-large-continuous",
+    )
+    cont_results = cont_engine.serve_continuous(timed, step_us=100.0)
+    cont_identical = all(
+        np.array_equal(cont_results[r.request_id], batched[r.request_id])
+        for r in requests
+    )
+    print(
+        f"\ncontinuous: {cont_engine.steps_executed} engine steps served "
+        f"{len(cont_engine.completions)} requests (no window waits), "
+        f"outputs bit-identical to the one-window serve: {cont_identical}"
+    )
+    sample = cont_engine.completions[requests[-1].request_id]
+    print(
+        f"completion metadata (deterministic), e.g. {sample.request_id}: "
+        f"step {sample.step}, rung {sample.rung}, batch of {sample.batch_size}, "
+        f"waited {sample.wait_us:.0f} us"
+    )
+
+    # ------------------------------------------------------------------
+    # 7. Exact vs padded bucketing x fixed vs async vs continuous
+    #    scheduling on the modelled GPU (FFN operand).
     # ------------------------------------------------------------------
     operand = SpmmOperand.from_vnm(
         next(lin for name, lin in encoder.named_sparse_layers() if name.endswith("ffn.output")).sparse_weight,
@@ -162,7 +198,7 @@ def main() -> None:
     windows = [200.0, 1000.0, 5000.0]
     rows = []
     for bucketing in ("exact", "ladder"):
-        for policy in ("fixed", "async"):
+        for policy in ("fixed", "async", "continuous"):
             for report in sweep_batch_windows(
                 operand, sim_requests, windows, window_policy=policy, bucketing=bucketing
             ):
@@ -176,14 +212,18 @@ def main() -> None:
                         s["mean_batch_size"],
                         s["throughput_rps"],
                         s["p95_latency_us"],
+                        s["p99_latency_us"],
                     ]
                 )
     print()
     print(
         format_table(
-            ["bucketing", "policy", "window", "kernels", "mean batch", "req/s", "p95 lat (us)"],
+            [
+                "bucketing", "policy", "window", "kernels", "mean batch",
+                "req/s", "p95 lat (us)", "p99 lat (us)",
+            ],
             rows,
-            title="Exact vs padded bucketing x fixed vs async window closing (RTX 3090 model)",
+            title="Bucketing x scheduling policy (RTX 3090 model; continuous ignores the window)",
         )
     )
 

@@ -17,9 +17,17 @@ subsystem (the ROADMAP's "heavy traffic" direction):
   through the dispatcher per micro-batch, with an engine-scoped plan
   registry (cross-request reuse, hit/miss counters) and a per-layer
   modelled trace.
+* :mod:`~repro.serving.continuous` — continuous batching:
+  :class:`ContinuousBatcher` schedules one micro-batch per engine step
+  instead of per window, so requests join compatible open ladder rungs
+  between steps (mid-flight admission) and completed sequences leave
+  without blocking the rung; per-request
+  :class:`~repro.serving.continuous.CompletionRecord` metadata is
+  deterministic.
 * :mod:`~repro.serving.simulate` — throughput/latency simulator for
   batch-window sweeps (requests/s vs window) on the modelled GPU, with
-  fixed-grid or async arrival-deadline window closing.
+  fixed-grid, async arrival-deadline, or window-free continuous
+  scheduling.
 
 The core guarantee, property-tested end to end: batched execution of N
 compatible requests is bit-identical to N sequential single-request calls —
@@ -40,6 +48,7 @@ from .batcher import (
     Request,
     ShapeBucketBatcher,
 )
+from .continuous import CompletionRecord, ContinuousBatcher, plan_continuous_batch
 from .engine import ServingEngine
 from .model_engine import ModelServingEngine
 from .simulate import (
@@ -55,6 +64,8 @@ __all__ = [
     "DEFAULT_TOKEN_BUCKETS",
     "AsyncWindowBatcher",
     "BucketKey",
+    "CompletionRecord",
+    "ContinuousBatcher",
     "MicroBatch",
     "ModelServingEngine",
     "Request",
@@ -63,6 +74,7 @@ __all__ = [
     "ServingSimReport",
     "SimulatedRequest",
     "plan_async_closings",
+    "plan_continuous_batch",
     "simulate_serving",
     "sweep_batch_windows",
     "uniform_arrivals",

@@ -8,6 +8,11 @@ small set of *bucket boundaries*, requests that land in the same bucket are
 zero-padded to the boundary and stacked into one ``(B, K, C_bucket)`` RHS,
 and the padding columns are trimmed away after execution.
 
+This module holds the window-oriented batchers (whole-queue drains and the
+async arrival-deadline :class:`AsyncWindowBatcher`); the window-free
+continuous policy lives in :mod:`repro.serving.continuous` and reuses the
+bucketing defined here.
+
 Determinism is a design requirement, not an accident: within a drain, the
 requests of a bucket are ordered by ``request_id`` (not arrival order), so
 the same set of requests produces the same stacked operands — and therefore

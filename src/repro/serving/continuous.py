@@ -1,0 +1,169 @@
+"""Continuous batching: requests join and leave buckets between engine steps.
+
+The windowed policies (fixed grid, async arrival deadlines) are
+*closed-world*: a window drains, a batch runs, the next window opens —
+a request arriving one microsecond after its bucket closed waits a full
+window before it can execute.  Continuous batching removes the window
+entirely (the iteration-level scheduling of Orca/vLLM, adapted to
+encoder workloads where one request is one forward pass):
+
+* the engine runs a ``step(now_us)`` loop; **admission happens between
+  steps** — a request that arrived while the previous step was executing
+  joins a compatible open bucket immediately, even though its new
+  batchmates have been queued since earlier steps;
+* each step re-buckets everything currently arrived (the deterministic
+  ladder/exact grouping of :class:`~repro.serving.batcher.ShapeBucketBatcher`)
+  and executes **one** batched (masked) forward: the single most urgent
+  bucket chunk, oldest first (FCFS across rungs);
+* completed sequences leave at the end of their step without blocking the
+  rung — requests of the same rung that did not fit the chunk stay queued
+  and are eligible again at the very next step, merged with whatever
+  arrived meanwhile.
+
+Scheduling is the *only* thing that changes.  Execution still runs through
+the engines' ``_execute_batch`` (exact-length stacking, or the padded
+ladder behind the additive attention mask), where every sequence executes
+at its true shape — so continuous serving of N requests stays bit-for-bit
+N sequential ``encoder.forward`` calls, regardless of arrival
+interleaving or step cadence.  The property tests in
+``tests/serving/test_continuous.py`` pin this across arrival orders, step
+cadences and exact/ladder modes, together with the determinism of the
+per-request :class:`CompletionRecord` metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .batcher import MicroBatch, Request, ShapeBucketBatcher
+
+
+@dataclass(frozen=True)
+class CompletionRecord:
+    """Where and when one request completed in a continuous-serving run.
+
+    Deterministic serving metadata: for a fixed arrival schedule and step
+    cadence, every field is reproducible run to run (the scheduler has no
+    hidden state and breaks every tie by ``request_id``).  Outputs are
+    stronger still — bit-identical across *different* cadences and
+    arrival interleavings — but the records describe scheduling, which
+    legitimately depends on both.
+    """
+
+    #: The request this record describes.
+    request_id: str
+    #: Engine-wide index of the executed step that completed the request
+    #: (idle polls do not count; ``step == 0`` is the first executed batch).
+    step: int
+    #: The engine clock (``now_us``) at the completing step.
+    completed_us: float
+    #: The bucket rung the request executed at (its padded token count).
+    rung: int
+    #: How many requests shared the completing micro-batch.
+    batch_size: int
+    #: The request's own arrival time, copied for convenience.
+    arrival_us: float
+
+    @property
+    def wait_us(self) -> float:
+        """Queueing delay: engine clock at completion minus arrival."""
+        return self.completed_us - self.arrival_us
+
+
+def plan_continuous_batch(
+    items, key_of, arrival_of, id_of, max_batch_size: int
+) -> Optional[Tuple[object, List]]:
+    """Pick the single most urgent bucket chunk from ``items`` (FCFS).
+
+    The continuous scheduling policy, shared by the live
+    :class:`ContinuousBatcher` and the analytic replay in
+    :func:`~repro.serving.simulate.simulate_serving` (the same sharing
+    pattern as ``plan_batches`` / ``plan_async_closings``):
+
+    1. group items by ``key_of(item)`` (the bucket identity);
+    2. order each bucket by ``(arrival_of(item), id_of(item))`` — oldest
+       first, ties broken by id so the plan is deterministic;
+    3. chunk each bucket at ``max_batch_size`` (later members stay queued
+       for the next step — they leave the rung open, not blocked);
+    4. return the chunk whose oldest member has waited longest, breaking
+       arrival ties by the oldest member's id (ids are unique across the
+       candidate set, so the ``(arrival, id)`` rank is always total).
+
+    Returns ``(key, chunk)``, or ``None`` when ``items`` is empty.
+    """
+    by_bucket = {}
+    for item in items:
+        by_bucket.setdefault(key_of(item), []).append(item)
+    best = None
+    for key, bucket_members in by_bucket.items():
+        members = sorted(bucket_members, key=lambda it: (arrival_of(it), id_of(it)))
+        chunk = members[:max_batch_size]
+        rank = (arrival_of(chunk[0]), id_of(chunk[0]))
+        if best is None or rank < best[0]:
+            best = (rank, key, chunk)
+    if best is None:
+        return None
+    return best[1], best[2]
+
+
+class ContinuousBatcher(ShapeBucketBatcher):
+    """Shape-bucketing batcher scheduled per engine step, not per window.
+
+    Requests queue exactly as on the parent (``submit`` / ``submit_many``),
+    but instead of draining whole windows the engine asks for **one**
+    micro-batch per step (:meth:`next_batch`): the most urgent chunk among
+    the requests that have *arrived* by ``now_us``.  Everything else stays
+    queued with its id reserved — including same-rung requests beyond
+    ``max_batch_size``, which become the oldest members of the rung's next
+    chunk, merged with any later arrivals (the "join an open bucket
+    mid-flight" behaviour continuous batching exists for).
+
+    Construct with :meth:`ShapeBucketBatcher.ladder` for padded-rung
+    serving (``ContinuousBatcher.ladder()``, the common case) or
+    :meth:`ShapeBucketBatcher.exact_length` for exact-length-only
+    stacking; both classmethods are inherited.
+
+    Numerics are untouched: a chunk executes through the very same
+    ``MicroBatch`` path as a windowed drain, so per-request outputs are
+    invariant to arrival interleaving *and* to the step cadence, bit for
+    bit.
+    """
+
+    def arrived(self, now_us: float) -> List[Request]:
+        """The queued requests whose ``arrival_us`` has passed at ``now_us``."""
+        return [r for r in self._pending if r.arrival_us <= now_us]
+
+    def next_batch(self, now_us: float) -> Optional[MicroBatch]:
+        """Pop the single most urgent micro-batch at ``now_us`` (or ``None``).
+
+        Deterministic FCFS across buckets (see :func:`plan_continuous_batch`);
+        the chunk's requests leave the queue (their ids become reusable),
+        everything else — later same-rung members included — stays queued
+        for the next step.
+        """
+        planned = plan_continuous_batch(
+            self.arrived(now_us),
+            self.bucket_key,
+            lambda r: r.arrival_us,
+            lambda r: r.request_id,
+            self.max_batch_size,
+        )
+        if planned is None:
+            return None
+        key, chunk = planned
+        taken_ids = {r.request_id for r in chunk}
+        self._pending = [r for r in self._pending if r.request_id not in taken_ids]
+        self._seen_ids -= taken_ids
+        return MicroBatch(key=key, requests=chunk)
+
+    def next_event_us(self) -> Optional[float]:
+        """The earliest instant any queued request becomes schedulable.
+
+        ``None`` when the queue is empty; otherwise the minimum pending
+        ``arrival_us``.  Drivers advance their clock here when a step finds
+        nothing arrived yet.
+        """
+        if not self._pending:
+            return None
+        return min(r.arrival_us for r in self._pending)

@@ -16,7 +16,9 @@ worth of work, which is what LLM serving fans out millions of times):
 
 Because every request executes at its bucket shape and the dispatcher's
 batched path is slab-bit-exact, ``serve(requests)`` returns bit-identical
-outputs whether the requests arrive together, in any order, or one by one.
+outputs whether the requests arrive together, in any order, or one by one —
+and under any of the three scheduling drivers defined here (whole-window
+``flush``, async-window ``poll``, continuous ``step``).
 """
 
 from __future__ import annotations
@@ -26,9 +28,116 @@ from typing import Dict, Iterable, Optional, Sequence
 import numpy as np
 
 from .batcher import MicroBatch, Request, ShapeBucketBatcher
+from .continuous import CompletionRecord
 from ..formats.vnm import VNMSparseMatrix
 from ..hardware.trace import ExecutionTrace
 from ..kernels.dispatch import KernelDispatcher, SpmmOperand, default_dispatcher
+
+
+class ContinuousDriverMixin:
+    """The continuous-batching step loop shared by the serving engines.
+
+    Host classes provide ``batcher``, ``submit`` and ``_execute_batch``
+    (and initialise ``steps_executed`` / ``completions``); the mixin turns
+    a step-schedulable batcher
+    (:class:`~repro.serving.continuous.ContinuousBatcher`) into the
+    continuous serving loop: admission between steps, deterministic
+    re-bucketing, one batched (masked) forward per step.  Like the async
+    windows, the policy is scheduling-only — outputs stay bit-identical to
+    a single-window ``serve`` of the same request set, for every arrival
+    interleaving and step cadence.
+    """
+
+    def step(self, now_us: float) -> Dict[str, np.ndarray]:
+        """Execute at most one micro-batch at ``now_us``.
+
+        Admits nothing itself — callers ``submit`` arrivals between steps
+        (that is the continuous-batching contract: a request submitted
+        before this call joins its rung's chunk immediately, even though
+        its batchmates have been queued since earlier steps).  Returns the
+        completed requests' outputs (``{}`` on an idle step) and records a
+        :class:`~repro.serving.continuous.CompletionRecord` per completed
+        request in :attr:`completions`.
+        """
+        next_batch = getattr(self.batcher, "next_batch", None)
+        if next_batch is None:
+            raise TypeError(
+                "step() needs a step-schedulable batcher (ContinuousBatcher); "
+                "use flush() with a plain ShapeBucketBatcher or poll() with an "
+                "AsyncWindowBatcher"
+            )
+        batch = next_batch(now_us)
+        if batch is None:
+            return {}
+        results = self._execute_batch(batch)
+        step_index = self.steps_executed
+        self.steps_executed += 1
+        for req in batch.requests:
+            self.completions[req.request_id] = CompletionRecord(
+                request_id=req.request_id,
+                step=step_index,
+                completed_us=float(now_us),
+                rung=batch.key.token_bucket,
+                batch_size=batch.batch_size,
+                arrival_us=req.arrival_us,
+            )
+        return results
+
+    def serve_continuous(
+        self, requests: Iterable[Request], step_us: float = 0.0
+    ) -> Dict[str, np.ndarray]:
+        """Replay requests against their arrival clock through the step loop.
+
+        The continuous counterpart of ``serve_arrivals``: the clock opens at
+        the first arrival, each iteration admits every request that has
+        arrived by ``now``, and :meth:`step` executes one micro-batch;
+        after an executed step the clock advances by ``step_us`` (the step
+        cadence — ``0.0`` means steps run back to back), and an idle step
+        jumps the clock to the next pending arrival.  Runs until every
+        request has completed — including requests ``submit``-ted directly
+        onto the engine beforehand (their ``arrival_us`` is honoured via
+        the batcher's ``next_event_us``, mirroring how ``serve_arrivals``
+        drains pre-queued deadlines).
+
+        Intake is streaming, not atomic: each request is validated when its
+        arrival is admitted, so a malformed request fails at its own
+        arrival after earlier requests have already been served.
+        """
+        if step_us < 0:
+            raise ValueError("step_us must be non-negative")
+        if not hasattr(self.batcher, "next_batch"):
+            raise TypeError(
+                "serve_continuous() needs a step-schedulable batcher "
+                "(ContinuousBatcher.ladder() / ContinuousBatcher.exact_length())"
+            )
+        queue = sorted(requests, key=lambda r: (r.arrival_us, r.request_id))
+        results: Dict[str, np.ndarray] = {}
+        now = queue[0].arrival_us if queue else 0.0
+        admitted = 0
+        while admitted < len(queue) or self.batcher.pending:
+            while admitted < len(queue) and queue[admitted].arrival_us <= now:
+                self.submit(queue[admitted])
+                admitted += 1
+            out = self.step(now)
+            if out:
+                results.update(out)
+                now += step_us
+            else:
+                # Idle step: nothing arrived yet — jump to the earliest
+                # upcoming arrival (explicit list or pre-queued on the
+                # batcher).  Both are strictly > now, so the loop advances.
+                upcoming = [
+                    t
+                    for t in (
+                        queue[admitted].arrival_us if admitted < len(queue) else None,
+                        self.batcher.next_event_us(),
+                    )
+                    if t is not None
+                ]
+                if not upcoming:
+                    break
+                now = max(now, min(upcoming))
+        return results
 
 
 class AsyncDriverMixin:
@@ -78,8 +187,15 @@ class AsyncDriverMixin:
         return results
 
 
-class ServingEngine(AsyncDriverMixin):
+class ServingEngine(AsyncDriverMixin, ContinuousDriverMixin):
     """Dynamic-batching server for one sparse linear operator.
+
+    Three scheduling drivers share the one execution path (and therefore
+    the bit-exactness guarantee): ``flush``/``serve`` close whole windows,
+    ``poll``/``serve_arrivals`` close async arrival-deadline windows
+    (:class:`~repro.serving.batcher.AsyncWindowBatcher`), and
+    ``step``/``serve_continuous`` run the continuous-batching step loop
+    (:class:`~repro.serving.continuous.ContinuousBatcher`).
 
     Parameters
     ----------
@@ -124,6 +240,9 @@ class ServingEngine(AsyncDriverMixin):
         self.trace = ExecutionTrace()
         self.total_requests = 0
         self.total_batches = 0
+        #: Continuous-serving bookkeeping (populated by the step loop).
+        self.steps_executed = 0
+        self.completions: Dict[str, CompletionRecord] = {}
         if warm:
             self.dispatcher.warm(self.operand, cs=warm_buckets)
 
@@ -233,6 +352,10 @@ class ServingEngine(AsyncDriverMixin):
             "mean_batch_size": (self.total_requests / self.total_batches)
             if self.total_batches
             else 0.0,
+            "continuous": {
+                "steps": self.steps_executed,
+                "completions": len(self.completions),
+            },
             "modelled_kernel_time_us": self.trace.total_time_us,
             "trace": self.trace.summary(),
         }

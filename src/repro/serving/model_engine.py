@@ -42,6 +42,15 @@ Two batching policies deliver it:
   sequence at its true length (see :mod:`repro.models.attention` for why
   bitwise equality needs that, not just exact zeros), and the engine
   slices the valid rows back out.  Fuller buckets, same bits.
+
+Orthogonally to the padding mode, three *scheduling* drivers decide when a
+queued request executes: whole-window ``flush``/``serve``, async
+arrival-deadline windows (``poll``/``serve_arrivals`` with an
+:class:`~repro.serving.batcher.AsyncWindowBatcher`), and the
+continuous-batching step loop (``step``/``serve_continuous`` with a
+:class:`~repro.serving.continuous.ContinuousBatcher`, where requests join
+open rungs between steps instead of waiting out a window).  Scheduling
+never touches numerics, so the guarantee holds under all three.
 """
 
 from __future__ import annotations
@@ -51,7 +60,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .batcher import MicroBatch, Request, ShapeBucketBatcher
-from .engine import AsyncDriverMixin
+from .continuous import CompletionRecord
+from .engine import AsyncDriverMixin, ContinuousDriverMixin
 from ..hardware.trace import ExecutionTrace
 from ..kernels.dispatch import KernelDispatcher
 from ..kernels.spatha import SpmmPlan
@@ -60,8 +70,16 @@ from ..models.layers import SparseLinear
 from ..models.transformer import TransformerEncoder
 
 
-class ModelServingEngine(AsyncDriverMixin):
+class ModelServingEngine(AsyncDriverMixin, ContinuousDriverMixin):
     """Dynamic-batching server for a whole :class:`TransformerEncoder`.
+
+    Three scheduling drivers share the one execution path (and therefore
+    the model-level bit-exactness guarantee): ``flush``/``serve`` close
+    whole windows, ``poll``/``serve_arrivals`` close async arrival-deadline
+    windows (pass an :class:`~repro.serving.batcher.AsyncWindowBatcher`),
+    and ``step``/``serve_continuous`` run the continuous-batching step loop
+    (pass a :class:`~repro.serving.continuous.ContinuousBatcher` — requests
+    join open ladder rungs between steps instead of waiting out windows).
 
     An engine takes ownership of the encoder's execution routing:
     constructing it injects the engine's dispatcher into every sparse
@@ -135,6 +153,9 @@ class ModelServingEngine(AsyncDriverMixin):
         #: Token-level padding accounting (ladder mode; exact mode pads 0).
         self.total_valid_tokens = 0
         self.total_padded_tokens = 0
+        #: Continuous-serving bookkeeping (populated by the step loop).
+        self.steps_executed = 0
+        self.completions: Dict[str, CompletionRecord] = {}
         #: Engine-lifetime plan registry: qualified layer name -> SpmmPlan.
         self.plans: Dict[str, SpmmPlan] = {}
         self.plan_hits = 0
@@ -330,6 +351,10 @@ class ModelServingEngine(AsyncDriverMixin):
                 "fill": (self.total_valid_tokens / self.total_padded_tokens)
                 if self.total_padded_tokens
                 else 0.0,
+            },
+            "continuous": {
+                "steps": self.steps_executed,
+                "completions": len(self.completions),
             },
             "sparse_projections": len(self._sparse_layers()),
             "plan_cache": {

@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .batcher import BucketKey, ShapeBucketBatcher
+from .continuous import plan_continuous_batch
 from ..hardware.trace import ExecutionTrace
 from ..kernels.dispatch import KernelDispatcher, SpmmOperand
 
@@ -106,6 +107,12 @@ class ServingSimReport:
         return float(np.percentile(values, 95)) if values else 0.0
 
     @property
+    def p99_latency_us(self) -> float:
+        """Tail completion latency — the metric continuous batching targets."""
+        values = list(self.latencies_us.values())
+        return float(np.percentile(values, 99)) if values else 0.0
+
+    @property
     def kernel_time_us(self) -> float:
         """Total modelled kernel time (the GPU-busy portion of the makespan)."""
         return self.trace.total_time_us
@@ -122,6 +129,7 @@ class ServingSimReport:
             "throughput_rps": round(self.throughput_rps, 1),
             "mean_latency_us": round(self.mean_latency_us, 1),
             "p95_latency_us": round(self.p95_latency_us, 1),
+            "p99_latency_us": round(self.p99_latency_us, 1),
             "kernel_time_us": round(self.kernel_time_us, 1),
         }
 
@@ -178,14 +186,26 @@ def simulate_serving(
     """Replay ``requests`` through a windowed dynamic batcher on the model.
 
     ``window_us <= 0`` means no batching: every request is dispatched alone
-    the moment it arrives (the per-request baseline of the sweeps).
+    the moment it arrives (the per-request baseline of the sweeps).  The
+    exception is ``window_policy="continuous"``, which has no windows to
+    disable — it ignores ``window_us`` entirely (every window value,
+    including 0, produces the same run; the value is only recorded on the
+    report for sweep alignment).
 
     ``window_policy`` selects how windows close when batching is on:
     ``"fixed"`` closes every bucket at multiples of ``window_us`` (the grid
     policy), ``"async"`` closes each bucket on its own arrival deadline —
     first arrival + ``window_us`` — so queueing delay is bounded by the
     window for *every* request instead of depending on where in the grid it
-    happened to arrive (see :func:`plan_async_closings`).
+    happened to arrive (see :func:`plan_async_closings`), and
+    ``"continuous"`` has no windows at all: whenever the executor frees, it
+    forms one batch from *everything arrived by that instant* (the FCFS
+    chunk policy of
+    :func:`~repro.serving.continuous.plan_continuous_batch`, mirroring the
+    live ``ContinuousBatcher``) and runs it immediately.  Under continuous
+    scheduling ``window_us`` is recorded but never waited on — a request's
+    queueing delay is bounded by the executor's busy time, not by a window,
+    which is exactly the tail-latency gap the policy exists to close.
 
     ``bucketing`` selects how requests group inside a closing, mirroring
     the model engine's ``padding`` modes: ``"ladder"`` rounds token counts
@@ -196,8 +216,10 @@ def simulate_serving(
     either ``window_policy``, so exact/padded x fixed/async sweeps run side
     by side.
     """
-    if window_policy not in {"fixed", "async"}:
-        raise ValueError(f"unknown window_policy {window_policy!r}; use 'fixed' or 'async'")
+    if window_policy not in {"fixed", "async", "continuous"}:
+        raise ValueError(
+            f"unknown window_policy {window_policy!r}; use 'fixed', 'async' or 'continuous'"
+        )
     if bucketing not in {"ladder", "exact"}:
         raise ValueError(f"unknown bucketing {bucketing!r}; use 'ladder' or 'exact'")
     dispatcher = dispatcher if dispatcher is not None else KernelDispatcher()
@@ -213,6 +235,68 @@ def simulate_serving(
     num_batches = 0
     gpu_free_us = 0.0
     makespan_us = 0.0
+
+    def execute_chunk(key: BucketKey, chunk: List[SimulatedRequest], ready_us: float) -> float:
+        """Run one planned chunk on the serial executor; returns its finish time."""
+        nonlocal num_batches, gpu_free_us, makespan_us
+        c_total = len(chunk) * key.token_bucket
+        decision = dispatcher.dispatch(operand, key.token_bucket)
+        modelled = dispatcher.estimate(operand, c_total, backend=decision.backend)
+        start_us = max(ready_us, gpu_free_us)
+        finish_us = start_us + modelled.time_us
+        gpu_free_us = finish_us
+        makespan_us = max(makespan_us, finish_us)
+        num_batches += 1
+        execution = modelled.as_execution(category="gemm")
+        execution.meta.update(
+            {
+                "backend": decision.backend,
+                "batch_size": len(chunk),
+                "token_bucket": key.token_bucket,
+                "start_us": start_us,
+            }
+        )
+        trace.record(execution)
+        for req in chunk:
+            latencies[req.request_id] = finish_us - req.arrival_us
+        return finish_us
+
+    if window_policy == "continuous":
+        # Executor-driven, no windows: whenever the executor frees, admit
+        # everything that has arrived by that instant and run the single
+        # most urgent bucket chunk (the live ContinuousBatcher's policy).
+        order = sorted(requests, key=lambda r: (r.arrival_us, r.request_id))
+        pending: List[SimulatedRequest] = []
+        admitted = 0
+        while admitted < len(order) or pending:
+            now_us = gpu_free_us
+            if not pending and order[admitted].arrival_us > now_us:
+                now_us = order[admitted].arrival_us
+            while admitted < len(order) and order[admitted].arrival_us <= now_us:
+                pending.append(order[admitted])
+                admitted += 1
+            key, chunk = plan_continuous_batch(
+                pending,
+                key_of=lambda r: BucketKey(
+                    features=operand.k, token_bucket=bucket_tokens(r.tokens)
+                ),
+                arrival_of=lambda r: r.arrival_us,
+                id_of=lambda r: r.request_id,
+                max_batch_size=batcher.max_batch_size,
+            )
+            taken = {r.request_id for r in chunk}
+            pending = [r for r in pending if r.request_id not in taken]
+            execute_chunk(key, chunk, now_us)
+        return ServingSimReport(
+            window_us=window_us,
+            num_requests=len(requests),
+            num_batches=num_batches,
+            makespan_us=makespan_us,
+            latencies_us=latencies,
+            trace=trace,
+            window_policy=window_policy,
+            bucketing=bucketing,
+        )
 
     # Close windows at multiples of window_us (fixed), at per-bucket arrival
     # deadlines (async), or per request when batching is disabled; within a
@@ -245,26 +329,7 @@ def simulate_serving(
             id_of=lambda r: r.request_id,
         )
         for key, chunk in planned:
-            c_total = len(chunk) * key.token_bucket
-            decision = dispatcher.dispatch(operand, key.token_bucket)
-            modelled = dispatcher.estimate(operand, c_total, backend=decision.backend)
-            start_us = max(close_us, gpu_free_us)
-            finish_us = start_us + modelled.time_us
-            gpu_free_us = finish_us
-            makespan_us = max(makespan_us, finish_us)
-            num_batches += 1
-            execution = modelled.as_execution(category="gemm")
-            execution.meta.update(
-                {
-                    "backend": decision.backend,
-                    "batch_size": len(chunk),
-                    "token_bucket": key.token_bucket,
-                    "start_us": start_us,
-                }
-            )
-            trace.record(execution)
-            for req in chunk:
-                latencies[req.request_id] = finish_us - req.arrival_us
+            execute_chunk(key, chunk, close_us)
 
     return ServingSimReport(
         window_us=window_us,
@@ -292,7 +357,9 @@ def sweep_batch_windows(
     A shared dispatcher keeps the decision/tuner caches warm across the
     sweep, mirroring a long-running server.  ``window_policy`` and
     ``bucketing`` are forwarded to :func:`simulate_serving` (``"async"``
-    sweeps arrival-deadline closing instead of the fixed grid; ``"exact"``
+    sweeps arrival-deadline closing instead of the fixed grid,
+    ``"continuous"`` sweeps the window-free step scheduler — one identical
+    row per window value, since nothing waits on the window; ``"exact"``
     sweeps exact-length buckets instead of the padded ladder).
     """
     dispatcher = dispatcher if dispatcher is not None else KernelDispatcher()

@@ -1,0 +1,37 @@
+"""The docs-cannot-rot gate, in-suite.
+
+Runs the same extraction/execution pass as ``tools/run_doc_snippets.py``
+(which CI's docs job invokes as a script) over the repo's markdown docs, so
+a renamed API or a stale import in a quickstart fails tier-1 locally — not
+just in the CI docs job.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from run_doc_snippets import run_file  # noqa: E402
+
+DOC_FILES = ["README.md", "docs/serving.md"]
+
+
+@pytest.mark.parametrize("doc", DOC_FILES)
+def test_doc_snippets_execute(doc):
+    path = REPO_ROOT / doc
+    assert path.exists(), f"{doc} is missing"
+    assert run_file(path) >= 1
+
+
+def test_docs_list_is_complete():
+    """Every markdown file under docs/ (subdirectories included) must be in
+    the gate (a new guide added without wiring it here would silently rot)."""
+    docs_dir = REPO_ROOT / "docs"
+    tracked = {d for d in DOC_FILES if d.startswith("docs/")}
+    on_disk = {
+        p.relative_to(REPO_ROOT).as_posix() for p in docs_dir.rglob("*.md")
+    }
+    assert on_disk == tracked

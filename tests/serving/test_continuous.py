@@ -1,0 +1,377 @@
+"""Continuous batching: scheduling tests and the arrival-invariance property.
+
+The serving property under test, one scheduling policy further than the
+async windows: the continuous step loop — admission between steps, one
+batched (masked) forward per step — changes *when* requests execute and
+*who* shares their micro-batch, never their numbers.  Serving N requests
+continuously is bit-for-bit N sequential ``encoder.forward`` calls for
+every arrival interleaving, step cadence, and exact/ladder mode; and the
+per-request :class:`~repro.serving.continuous.CompletionRecord` metadata is
+deterministic for a fixed schedule.
+"""
+
+import numpy as np
+import pytest
+
+from repro.integration import VNMSparsifier, sparsify_encoder
+from repro.kernels.dispatch import SpmmOperand
+from repro.models import TransformerEncoder, tiny_config
+from repro.serving import (
+    ContinuousBatcher,
+    ModelServingEngine,
+    Request,
+    ServingEngine,
+    plan_continuous_batch,
+    simulate_serving,
+    sweep_batch_windows,
+    uniform_arrivals,
+)
+
+HIDDEN = 64
+
+
+def make_encoder(num_layers=1, seed=0):
+    cfg = tiny_config(
+        hidden_size=HIDDEN, num_layers=num_layers, num_heads=4, intermediate_size=128
+    )
+    encoder = TransformerEncoder.init(cfg, seed=seed)
+    sparsify_encoder(encoder, VNMSparsifier(n=2, m=8, v=16))
+    return encoder
+
+
+def make_requests(rng, lengths, arrivals=None, prefix="req"):
+    arrivals = arrivals if arrivals is not None else [0.0] * len(lengths)
+    return [
+        Request(
+            f"{prefix}-{i:04d}",
+            rng.normal(size=(t, HIDDEN)).astype(np.float32),
+            arrival_us=a,
+        )
+        for i, (t, a) in enumerate(zip(lengths, arrivals))
+    ]
+
+
+def continuous_engine(padding="ladder", num_layers=1, **batcher_kwargs):
+    batcher = (
+        ContinuousBatcher.ladder(**batcher_kwargs)
+        if padding == "ladder"
+        else ContinuousBatcher.exact_length(**batcher_kwargs)
+    )
+    return ModelServingEngine(
+        make_encoder(num_layers), padding=padding, batcher=batcher, name=f"cont-{padding}"
+    )
+
+
+class TestContinuousBatcher:
+    def test_next_batch_empty_or_not_yet_arrived(self, rng):
+        batcher = ContinuousBatcher.ladder()
+        assert batcher.next_batch(0.0) is None
+        (req,) = make_requests(rng, [5], arrivals=[100.0])
+        batcher.submit(req)
+        assert batcher.next_batch(50.0) is None  # queued but not arrived
+        assert batcher.next_event_us() == 100.0
+        batch = batcher.next_batch(100.0)
+        assert [r.request_id for r in batch.requests] == [req.request_id]
+        assert batcher.next_event_us() is None
+
+    def test_fcfs_across_rungs(self, rng):
+        """The rung whose oldest member has waited longest runs first."""
+        batcher = ContinuousBatcher.ladder()
+        young_small, old_big = make_requests(rng, [5, 12], arrivals=[5.0, 2.0])
+        batcher.submit(young_small)  # rung 8, arrived at 5
+        batcher.submit(old_big)  # rung 16, arrived at 2
+        first = batcher.next_batch(10.0)
+        assert first.key.token_bucket == 16
+        second = batcher.next_batch(10.0)
+        assert second.key.token_bucket == 8
+
+    def test_overflow_members_stay_queued_not_blocked(self, rng):
+        """A rung with more members than max_batch_size chunks oldest-first;
+        the overflow stays queued and merges with later arrivals."""
+        batcher = ContinuousBatcher.ladder(max_batch_size=2)
+        early = make_requests(rng, [3, 5, 7], arrivals=[0.0, 1.0, 2.0])
+        for r in early:
+            batcher.submit(r)
+        first = batcher.next_batch(10.0)
+        assert [r.request_id for r in first.requests] == ["req-0000", "req-0001"]
+        (late,) = make_requests(rng, [8], arrivals=[11.0], prefix="late")
+        batcher.submit(late)
+        second = batcher.next_batch(11.0)
+        assert [r.request_id for r in second.requests] == ["req-0002", "late-0000"]
+        assert batcher.pending == 0
+
+    def test_taken_ids_become_reusable(self, rng):
+        batcher = ContinuousBatcher.ladder()
+        (req,) = make_requests(rng, [5])
+        batcher.submit(req)
+        with pytest.raises(ValueError):
+            batcher.submit(req)  # still pending
+        batcher.next_batch(0.0)
+        batcher.submit(req)  # completed: the id may return
+
+    def test_plan_continuous_batch_deterministic_ties(self):
+        """Arrival ties break by id, bucket ties by key — no hidden state."""
+        from repro.serving import BucketKey
+
+        items = [
+            ("b", BucketKey(features=4, token_bucket=8), 0.0),
+            ("a", BucketKey(features=4, token_bucket=8), 0.0),
+            ("c", BucketKey(features=4, token_bucket=16), 0.0),
+        ]
+        key, chunk = plan_continuous_batch(
+            items,
+            key_of=lambda it: it[1],
+            arrival_of=lambda it: it[2],
+            id_of=lambda it: it[0],
+            max_batch_size=8,
+        )
+        # Same arrival everywhere: the bucket whose oldest id sorts first
+        # wins, and members come back oldest-then-id ordered.
+        assert key.token_bucket == 8
+        assert [it[0] for it in chunk] == ["a", "b"]
+        assert plan_continuous_batch([], lambda i: i, lambda i: 0, lambda i: i, 4) is None
+
+
+class TestContinuousServingBitExactness:
+    """The tentpole guarantee: continuous serving of N requests is bit-for-bit
+    N sequential encoder forwards, for every interleaving and cadence."""
+
+    LENGTHS = [1, 5, 7, 8, 9, 12, 17, 17]
+
+    ARRIVAL_PATTERNS = [
+        [0.0] * 8,  # burst
+        [i * 40.0 for i in range(8)],  # steady trickle
+        [280.0, 240.0, 200.0, 160.0, 120.0, 80.0, 40.0, 0.0],  # ids in reverse
+        [0.0, 0.0, 500.0, 500.0, 500.0, 900.0, 900.0, 2000.0],  # clumps
+    ]
+
+    @pytest.mark.parametrize("padding", ["ladder", "exact"])
+    def test_interleavings_and_cadences_preserve_bits(self, rng, padding):
+        requests = make_requests(rng, self.LENGTHS)
+        baseline = ModelServingEngine(make_encoder(), padding=padding).serve(requests)
+        for arrivals in self.ARRIVAL_PATTERNS:
+            for step_us in (0.0, 75.0, 1500.0):
+                engine = continuous_engine(padding)
+                timed = [
+                    Request(r.request_id, r.activations, arrival_us=a)
+                    for r, a in zip(requests, arrivals)
+                ]
+                results = engine.serve_continuous(timed, step_us=step_us)
+                assert set(results) == set(baseline)
+                for rid in baseline:
+                    assert np.array_equal(results[rid], baseline[rid]), (
+                        padding,
+                        arrivals,
+                        step_us,
+                        rid,
+                    )
+
+    def test_continuous_equals_sequential_forward(self, rng):
+        """Direct form of the guarantee: each served output equals the
+        standalone encoder.forward of that request, bit for bit."""
+        engine = continuous_engine("ladder", num_layers=2)
+        requests = make_requests(
+            rng, [3, 7, 9, 16, 17, 33], arrivals=[0.0, 10.0, 20.0, 30.0, 40.0, 50.0]
+        )
+        results = engine.serve_continuous(requests, step_us=25.0)
+        for request in requests:
+            sequential = engine.encoder.forward(request.activations[None])[0]
+            assert np.array_equal(results[request.request_id], sequential), request.request_id
+
+    def test_single_operator_engine_serves_continuously(self, rng, vnm_matrix):
+        """The step loop is engine-agnostic: the single-operator engine
+        serves the same bits continuously as in one window."""
+        operand = SpmmOperand.from_vnm(vnm_matrix)
+        requests = [
+            Request(f"op-{i}", rng.normal(size=(t, operand.k)).astype(np.float32),
+                    arrival_us=i * 30.0)
+            for i, t in enumerate([5, 17, 17, 30])
+        ]
+        baseline = ServingEngine(operand).serve(requests)
+        engine = ServingEngine(operand, batcher=ContinuousBatcher())
+        results = engine.serve_continuous(requests, step_us=50.0)
+        for rid in baseline:
+            assert np.array_equal(results[rid], baseline[rid]), rid
+        assert engine.steps_executed >= 1
+        assert set(engine.completions) == {r.request_id for r in requests}
+        # Both engines surface the step-loop counters the same way.
+        assert engine.stats()["continuous"] == {
+            "steps": engine.steps_executed,
+            "completions": len(requests),
+        }
+
+
+class TestCompletionMetadata:
+    def test_records_are_deterministic_for_a_fixed_schedule(self, rng):
+        lengths = [3, 5, 7, 9, 12, 17]
+        arrivals = [0.0, 20.0, 40.0, 40.0, 60.0, 200.0]
+        runs = []
+        for _ in range(2):
+            req_rng = np.random.default_rng(7)
+            engine = continuous_engine("ladder")
+            requests = make_requests(req_rng, lengths, arrivals)
+            engine.serve_continuous(requests, step_us=50.0)
+            runs.append(dict(engine.completions))
+        assert runs[0] == runs[1]
+        records = runs[0]
+        assert set(records) == {f"req-{i:04d}" for i in range(len(lengths))}
+        for rid, rec in records.items():
+            assert rec.request_id == rid
+            assert rec.completed_us >= rec.arrival_us
+            assert rec.wait_us == rec.completed_us - rec.arrival_us
+            assert rec.rung >= 1
+            # batch_size agrees with the number of records sharing the step.
+            assert rec.batch_size == sum(1 for r in records.values() if r.step == rec.step)
+
+    def test_late_request_joins_open_rung_mid_flight(self, rng):
+        """The defining continuous behaviour: a request arriving after its
+        rung-mates were queued (but before their step ran) executes in the
+        same micro-batch."""
+        engine = continuous_engine("ladder")
+        early = make_requests(rng, [3, 5], arrivals=[0.0, 10.0])
+        (late,) = make_requests(rng, [7], arrivals=[500.0], prefix="late")
+        for r in early:
+            engine.submit(r)
+        # No step has run yet; the late joiner lands in the same rung-8 bucket.
+        engine.submit(late)
+        results = engine.step(500.0)
+        assert set(results) == {r.request_id for r in early} | {late.request_id}
+        steps = {engine.completions[rid].step for rid in results}
+        assert steps == {0}
+        assert engine.completions[late.request_id].batch_size == 3
+
+    def test_completed_requests_leave_without_blocking_the_rung(self, rng):
+        """Chunked rung-mates complete across steps: the first chunk leaves,
+        the remainder merges with a later arrival instead of waiting for a
+        window."""
+        engine = continuous_engine("ladder", max_batch_size=2)
+        first_wave = make_requests(rng, [3, 5, 7], arrivals=[0.0, 0.0, 0.0])
+        (joiner,) = make_requests(rng, [8], arrivals=[30.0], prefix="join")
+        results = engine.serve_continuous(first_wave + [joiner], step_us=40.0)
+        assert len(results) == 4
+        recs = engine.completions
+        assert recs["req-0000"].step == recs["req-0001"].step == 0
+        assert recs["req-0002"].step == recs["join-0000"].step == 1
+        assert recs["join-0000"].batch_size == 2
+        assert engine.stats()["continuous"] == {"steps": 2, "completions": 4}
+
+
+class TestContinuousApi:
+    def test_step_requires_continuous_batcher(self, rng):
+        engine = ModelServingEngine(make_encoder())
+        with pytest.raises(TypeError, match="ContinuousBatcher"):
+            engine.step(0.0)
+        with pytest.raises(TypeError, match="ContinuousBatcher"):
+            engine.serve_continuous(make_requests(rng, [5]))
+
+    def test_negative_cadence_rejected(self, rng):
+        engine = continuous_engine("ladder")
+        with pytest.raises(ValueError, match="step_us"):
+            engine.serve_continuous(make_requests(rng, [5]), step_us=-1.0)
+
+    def test_exact_mode_refuses_padding_continuous_batcher(self, rng):
+        """padding='exact' + a ladder continuous batcher must fail loudly at
+        execution, exactly like the windowed engines do."""
+        engine = ModelServingEngine(
+            make_encoder(), padding="exact", batcher=ContinuousBatcher.ladder()
+        )
+        with pytest.raises(ValueError, match="padding='ladder'"):
+            engine.serve_continuous(make_requests(rng, [5]))  # 5 pads to rung 8
+
+    def test_idle_step_returns_empty(self):
+        engine = continuous_engine("ladder")
+        assert engine.step(0.0) == {}
+        assert engine.steps_executed == 0
+
+    def test_streaming_intake_validates_on_admission(self, rng):
+        engine = continuous_engine("ladder")
+        bad = Request("bad", rng.normal(size=(4, HIDDEN + 1)).astype(np.float32))
+        with pytest.raises(ValueError, match="hidden size"):
+            engine.serve_continuous([bad])
+
+    def test_prequeued_future_requests_are_served_not_stranded(self, rng):
+        """Regression: a request submitted directly onto the engine with a
+        future arrival must be drained by serve_continuous (via the
+        batcher's next_event_us), not silently left pending."""
+        engine = continuous_engine("ladder")
+        (future,) = make_requests(rng, [5], arrivals=[100.0], prefix="future")
+        engine.submit(future)
+        (now_req,) = make_requests(rng, [7], arrivals=[0.0], prefix="now")
+        results = engine.serve_continuous([now_req])
+        assert set(results) == {"now-0000", "future-0000"}
+        assert engine.batcher.pending == 0
+        sequential = engine.encoder.forward(future.activations[None])[0]
+        assert np.array_equal(results["future-0000"], sequential)
+
+
+class TestContinuousSimulation:
+    @pytest.fixture
+    def operand(self, rng):
+        encoder = make_encoder()
+        _, layer = next(iter(encoder.named_sparse_layers()))
+        return SpmmOperand.from_vnm(layer.sparse_weight)
+
+    def test_p99_latency_beats_async_at_equal_offered_load(self, operand):
+        """The acceptance property of the continuous policy: same arrival
+        schedule, every request served by both policies, and the continuous
+        p99 completion latency is no worse than the async windows'."""
+        requests = uniform_arrivals(64, rate_rps=5000, tokens=[3, 9, 17, 33])
+        async_report = simulate_serving(
+            operand, requests, window_us=2000.0, window_policy="async"
+        )
+        cont_report = simulate_serving(
+            operand, requests, window_us=2000.0, window_policy="continuous"
+        )
+        assert cont_report.num_requests == async_report.num_requests == 64
+        assert len(cont_report.latencies_us) == 64
+        assert cont_report.p99_latency_us <= async_report.p99_latency_us
+        assert cont_report.mean_latency_us <= async_report.mean_latency_us
+        assert cont_report.window_policy == "continuous"
+
+    def test_arrival_order_invariant_summary(self, operand):
+        requests = uniform_arrivals(24, rate_rps=20000, tokens=[9, 17, 33])
+        a = simulate_serving(operand, requests, window_us=400.0, window_policy="continuous")
+        b = simulate_serving(
+            operand, list(reversed(requests)), window_us=400.0, window_policy="continuous"
+        )
+        assert a.summary() == b.summary()
+
+    def test_backlog_still_batches(self, operand):
+        """All requests queued at t=0: the continuous scheduler must form
+        multi-request batches (it admits everything arrived), not degrade
+        to per-request dispatch."""
+        requests = [
+            uniform_arrivals(32, rate_rps=1e9, tokens=[17])[i] for i in range(32)
+        ]
+        report = simulate_serving(operand, requests, window_us=100.0, window_policy="continuous")
+        assert report.num_batches < 32
+        assert report.mean_batch_size > 1.0
+
+    def test_window_value_is_irrelevant_including_zero(self, operand):
+        """Regression: the continuous policy has no windows to disable —
+        window_us=0 must run the same executor-driven schedule as any
+        other value, not fall back to per-request dispatch."""
+        requests = [
+            uniform_arrivals(32, rate_rps=1e9, tokens=[17])[i] for i in range(32)
+        ]
+        zero = simulate_serving(operand, requests, window_us=0.0, window_policy="continuous")
+        some = simulate_serving(operand, requests, window_us=100.0, window_policy="continuous")
+        assert zero.num_batches == some.num_batches < 32
+        assert zero.latencies_us == some.latencies_us
+
+    def test_sweep_accepts_continuous_policy(self, operand):
+        requests = uniform_arrivals(12, rate_rps=50000, tokens=[17])
+        reports = sweep_batch_windows(
+            operand, requests, [100.0, 2000.0], window_policy="continuous"
+        )
+        assert [r.window_policy for r in reports] == ["continuous", "continuous"]
+        # Nothing waits on the window, so the sweep rows coincide (the
+        # recorded window_us is the only difference).
+        a, b = reports[0].summary(), reports[1].summary()
+        a.pop("window_us"), b.pop("window_us")
+        assert a == b
+
+    def test_unknown_policy_rejected(self, operand):
+        requests = uniform_arrivals(4, rate_rps=1000, tokens=[9])
+        with pytest.raises(ValueError, match="continuous"):
+            simulate_serving(operand, requests, window_us=10.0, window_policy="nope")

@@ -29,7 +29,12 @@ from repro.kernels.dispatch import (
     default_dispatcher,
 )
 from repro.models import TransformerEncoder, tiny_config
-from repro.serving import AsyncWindowBatcher, ModelServingEngine, Request
+from repro.serving import (
+    AsyncWindowBatcher,
+    ContinuousBatcher,
+    ModelServingEngine,
+    Request,
+)
 
 HIDDEN = 64
 
@@ -178,6 +183,74 @@ def assert_padded_golden_cell(pattern, num_layers, lengths, backend, rng):
     return engine
 
 
+#: Arrival interleavings for the continuous cells: each pattern stresses a
+#: different admission order (burst, trickle, ids reversed in time, clumps
+#: straddling step boundaries).  Lengths index into the cell's length set.
+def arrival_interleavings(n):
+    return [
+        [0.0] * n,
+        [i * 60.0 for i in range(n)],
+        [(n - 1 - i) * 60.0 for i in range(n)],
+        [(i % 2) * 700.0 for i in range(n)],
+    ]
+
+
+CONTINUOUS_FULL_GRID = [
+    (p, s, b, a, step_us)
+    for p in PATTERNS
+    for s in PADDED_LENGTH_SETS
+    for b in BACKENDS
+    for a in range(4)
+    for step_us in (0.0, 100.0)
+]
+
+#: Tier-1 continuous smoke subset: crosses both patterns, all three length
+#: sets, both backends, all four interleavings and both step cadences.
+CONTINUOUS_SMOKE_GRID = [
+    ((16, 2, 8), [1, 3, 5, 7, 8], "auto", 0, 0.0),
+    ((8, 2, 4), [3, 7, 9, 12, 16, 17], "cublas-dense", 1, 100.0),
+    ((16, 2, 8), [8, 9, 16, 17, 33], "cublas-dense", 2, 0.0),
+    ((8, 2, 4), [8, 9, 16, 17, 33], "auto", 3, 100.0),
+]
+
+
+def assert_continuous_golden_cell(pattern, lengths, backend, arrival_idx, step_us, rng):
+    """One continuous grid cell: serving through the step loop under the
+    given arrival interleaving and cadence == sequential forward, bit for
+    bit, in both exact and ladder modes."""
+    arrivals = arrival_interleavings(len(lengths))[arrival_idx]
+    for padding in ("exact", "ladder"):
+        encoder = make_encoder(pattern, 1)
+        batcher = (
+            ContinuousBatcher.ladder()
+            if padding == "ladder"
+            else ContinuousBatcher.exact_length()
+        )
+        engine = ModelServingEngine(
+            encoder,
+            dispatcher=backend_dispatcher(backend),
+            padding=padding,
+            batcher=batcher,
+            name=f"golden-continuous-{padding}-{backend}",
+        )
+        requests = [
+            Request(r.request_id, r.activations, arrival_us=a)
+            for r, a in zip(make_requests(rng, lengths), arrivals)
+        ]
+        results = engine.serve_continuous(requests, step_us=step_us)
+        assert set(results) == {r.request_id for r in requests}
+        for request in requests:
+            sequential = encoder.forward(request.activations[None])[0]
+            assert np.array_equal(results[request.request_id], sequential), (
+                f"continuous cell (pattern={pattern}, backend={backend}, "
+                f"arrivals={arrival_idx}, step_us={step_us}, padding={padding}) "
+                f"diverged on {request.request_id} (tokens={request.tokens})"
+            )
+        # Every request completed exactly once, with coherent metadata.
+        assert set(engine.completions) == set(results)
+        assert engine.stats()["continuous"]["completions"] == len(requests)
+
+
 class TestGoldenMatrix:
     @pytest.mark.parametrize("pattern,num_layers,lengths,backend", SMOKE_GRID)
     def test_smoke_cells(self, rng, pattern, num_layers, lengths, backend):
@@ -196,6 +269,19 @@ class TestGoldenMatrix:
     @pytest.mark.parametrize("pattern,num_layers,lengths,backend", PADDED_FULL_GRID)
     def test_padded_full_matrix(self, rng, pattern, num_layers, lengths, backend):
         assert_padded_golden_cell(pattern, num_layers, lengths, backend, rng)
+
+    @pytest.mark.parametrize(
+        "pattern,lengths,backend,arrival_idx,step_us", CONTINUOUS_SMOKE_GRID
+    )
+    def test_continuous_smoke_cells(self, rng, pattern, lengths, backend, arrival_idx, step_us):
+        assert_continuous_golden_cell(pattern, lengths, backend, arrival_idx, step_us, rng)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize(
+        "pattern,lengths,backend,arrival_idx,step_us", CONTINUOUS_FULL_GRID
+    )
+    def test_continuous_full_matrix(self, rng, pattern, lengths, backend, arrival_idx, step_us):
+        assert_continuous_golden_cell(pattern, lengths, backend, arrival_idx, step_us, rng)
 
     def test_padded_and_exact_engines_agree_bitwise(self, rng):
         """The two bit-exact policies must agree with each other, not just

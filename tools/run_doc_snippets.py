@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Execute the ``python`` code fences of the repo's markdown docs.
+
+The docs-cannot-rot gate: every ```` ```python ```` fence in the given
+markdown files is extracted and executed, top to bottom, in one shared
+namespace per file (so a tutorial's later snippets may build on earlier
+ones).  Non-``python`` fences (shell commands, output transcripts) are
+ignored.  A file with zero runnable snippets fails — if a quickstart is
+rewritten into prose, the gate should notice, not silently pass::
+
+    PYTHONPATH=src python tools/run_doc_snippets.py README.md docs/serving.md
+
+Exits non-zero on the first failing snippet, printing the file and snippet
+index so the offending fence is easy to find.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def run_file(path: Path) -> int:
+    """Execute every python fence of ``path``; returns the snippet count."""
+    snippets = FENCE.findall(path.read_text())
+    if not snippets:
+        raise SystemExit(f"{path}: no ```python fences found — nothing to verify")
+    namespace: dict = {"__name__": f"__doc_snippet__{path.stem}"}
+    for index, code in enumerate(snippets, 1):
+        try:
+            exec(compile(code, f"{path}[snippet {index}]", "exec"), namespace)
+        except Exception:
+            print(f"FAILED: {path} snippet {index}:\n{code}", file=sys.stderr)
+            raise
+    return len(snippets)
+
+
+def main(argv: list[str]) -> None:
+    if not argv:
+        raise SystemExit("usage: run_doc_snippets.py FILE.md [FILE.md ...]")
+    for name in argv:
+        count = run_file(Path(name))
+        print(f"{name}: {count} snippet(s) executed ok")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])
