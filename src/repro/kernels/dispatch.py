@@ -37,7 +37,7 @@ import numpy as np
 from . import cublas, cusparse, sputnik
 from .common import GemmProblem, KernelResult
 from .cusparse import CusparseBlockedEllConfig
-from .spatha import SpmmPlan
+from .spatha import SpmmPlan, UnsupportedTilingError
 from .spatha import spmm as spatha_spmm
 from .spatha.tuner import SpathaTuner
 from ..formats.blocked_ell import BlockedEllMatrix
@@ -54,6 +54,23 @@ FORMAT_DENSE = "dense"
 #: Cost models require sparsity strictly below 1; an all-zero operand is
 #: clamped to this ceiling (its execution is trivial either way).
 _MAX_MODEL_SPARSITY = 1.0 - 1e-6
+
+
+class BackendExecutionError(RuntimeError):
+    """A backend's execution entry point failed (really or by injection).
+
+    Raised by the fault injector (:mod:`repro.serving.faults`) to model a
+    backend fault, and by :meth:`KernelDispatcher.execute` when *every*
+    candidate backend of a dispatch decision failed — the unrecoverable
+    case the serving engines isolate per request instead of letting one
+    poisoned call take down a whole micro-batch.
+    """
+
+    def __init__(self, message: str, backend: str = "") -> None:
+        super().__init__(message)
+        #: Registry name of the backend that failed ("" for the exhausted
+        #: multi-backend case).
+        self.backend = backend
 
 
 class SpmmOperand:
@@ -316,10 +333,12 @@ class SpathaPlanBackend(Backend):
         problem = operand.problem(c)
         try:
             return tuner.best_result(problem)
-        except ValueError:
-            # The template space only instantiates warp tiles for
-            # hardware-sized V with V | R; the real library pads such
-            # operands, so cost the padded launch instead.
+        except UnsupportedTilingError:
+            # The one expected failure: the template space only instantiates
+            # warp tiles for hardware-sized V with V | R; the real library
+            # pads such operands, so cost the padded launch instead.  Any
+            # other error (including a plain ValueError) is a genuine model
+            # bug and must propagate, not be silently re-costed as a proxy.
             v_model = 16
             r_model = -(-problem.r // v_model) * v_model
             proxy = GemmProblem(
@@ -418,11 +437,21 @@ class DispatchDecision:
     costs: Dict[str, float] = field(default_factory=dict)
     #: C at which the costs were evaluated (the bucket's first-seen C).
     decided_at_c: int = 0
+    #: Failovers taken at execute time under this decision, keyed
+    #: ``"failed->served"``.  The decision itself never changes — ``backend``
+    #: stays the cost argmin so re-admitted backends are routed to again —
+    #: this is the audit trail of which calls had to walk down the ranking.
+    failovers: Dict[str, int] = field(default_factory=dict)
 
     @property
     def ranking(self) -> List[Tuple[str, float]]:
         """Candidates sorted fastest first."""
         return sorted(self.costs.items(), key=lambda kv: kv[1])
+
+    def record_failover(self, failed: str, served: str) -> None:
+        """Count one execute-time failover from ``failed`` to ``served``."""
+        key = f"{failed}->{served}"
+        self.failovers[key] = self.failovers.get(key, 0) + 1
 
 
 class KernelDispatcher:
@@ -439,6 +468,8 @@ class KernelDispatcher:
         gpu: Optional[GPUSpec] = None,
         backends: Optional[Sequence[Backend]] = None,
         name: str = "",
+        failure_threshold: int = 3,
+        probe_interval: int = 4,
     ) -> None:
         self.gpu = gpu or rtx3090()
         self.backends: List[Backend] = list(backends) if backends is not None else default_backends()
@@ -453,6 +484,24 @@ class KernelDispatcher:
         #: cross-request reuse; they accumulate across ``clear_cache``.
         self.cache_hits = 0
         self.cache_misses = 0
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if probe_interval < 1:
+            raise ValueError("probe_interval must be >= 1")
+        #: Consecutive execute failures after which a backend is quarantined.
+        self.failure_threshold = failure_threshold
+        #: Executes a quarantined backend sits out before one probe attempt.
+        self.probe_interval = probe_interval
+        #: Consecutive-failure streak per backend (reset on any success).
+        self._consecutive_failures: Dict[str, int] = {}
+        #: Quarantined backends mapped to the number of executes remaining
+        #: before a probe attempt; 0 means the next execute probes it.
+        self._quarantine: Dict[str, int] = {}
+        #: Cumulative health counters (surfaced by :meth:`health_stats`).
+        self.backend_failures = 0
+        self.failover_count = 0
+        self.quarantine_events = 0
+        self.readmission_events = 0
 
     # ------------------------------------------------------------------
     # Registry
@@ -540,28 +589,50 @@ class KernelDispatcher:
         return self.backend(name).estimate(operand, c, self.gpu)
 
     # ------------------------------------------------------------------
+    # Backend health (circuit breaker)
+    # ------------------------------------------------------------------
+    def is_quarantined(self, name: str) -> bool:
+        """True while ``name`` is sitting out the candidate walk."""
+        return name in self._quarantine
+
+    def quarantined(self) -> Tuple[str, ...]:
+        """Currently quarantined backend names (sorted)."""
+        return tuple(sorted(self._quarantine))
+
+    def _record_failure(self, name: str) -> None:
+        self.backend_failures += 1
+        streak = self._consecutive_failures.get(name, 0) + 1
+        self._consecutive_failures[name] = streak
+        if name in self._quarantine:
+            # A failed probe: back to the penalty box for a full interval.
+            self._quarantine[name] = self.probe_interval
+        elif streak >= self.failure_threshold:
+            self._quarantine[name] = self.probe_interval
+            self.quarantine_events += 1
+
+    def _record_success(self, name: str) -> None:
+        self._consecutive_failures.pop(name, None)
+        if name in self._quarantine:
+            # A successful probe re-admits the backend immediately.
+            del self._quarantine[name]
+            self.readmission_events += 1
+
+    def health_stats(self) -> Dict[str, object]:
+        """Circuit-breaker counters (separate from :meth:`cache_stats`)."""
+        return {
+            "failures": self.backend_failures,
+            "failovers": self.failover_count,
+            "quarantines": self.quarantine_events,
+            "readmissions": self.readmission_events,
+            "quarantined": list(self.quarantined()),
+        }
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def execute(
-        self,
-        operand: SpmmOperand,
-        b: np.ndarray,
-        bias: Optional[np.ndarray] = None,
-    ) -> np.ndarray:
-        """``A @ B (+ bias)`` through the dispatched backend.
-
-        ``b`` may be ``(K, C)`` or a batch ``(B, K, C)``; batched execution
-        is slab-bit-exact.  Without a bias the result is bit-for-bit the
-        chosen backend's direct output; the bias epilogue adds
-        ``bias.reshape(R, 1)`` exactly like the Spatha plan does.  A
-        non-finite RHS demotes the dense fallback to the fastest
-        sparse-format backend (see the inline comment).
-        """
-        b = _validate_rhs(operand, b)
-        decision = self.dispatch(operand, b.shape[-1])
-        chosen = decision.backend
-        out = None
-        if chosen == CublasDenseBackend.name and len(decision.costs) > 1:
+    def _attempt(self, operand: SpmmOperand, b: np.ndarray, name: str, decision: DispatchDecision) -> np.ndarray:
+        """Run one candidate backend, honouring the non-finite demotion."""
+        if name == CublasDenseBackend.name and len(decision.costs) > 1:
             # Same guard as SpmmPlan's dense->gather demotion: the dense
             # fallback multiplies the decompressed operand's zeros against
             # every B row, so a non-finite value in a row the sparse
@@ -573,24 +644,94 @@ class KernelDispatcher:
             # micro-batch would flip its batchmates' backend and break the
             # batched == sequential bit-exactness guarantee.
             fallback = next(
-                name for name, _ in decision.ranking if name != CublasDenseBackend.name
+                fname for fname, _ in decision.ranking if fname != CublasDenseBackend.name
             )
             if b.ndim == 2:
                 if not _fp16_finite(b):
-                    chosen = fallback
+                    return self.backend(fallback).execute(operand, b)
             else:
                 finite = [_fp16_finite(b[i]) for i in range(b.shape[0])]
                 if not all(finite):
-                    dense_backend = self.backend(chosen)
+                    dense_backend = self.backend(name)
                     sparse_backend = self.backend(fallback)
-                    out = np.stack(
+                    return np.stack(
                         [
                             (dense_backend if fin else sparse_backend).execute(operand, b[i])
                             for i, fin in enumerate(finite)
                         ]
                     )
+        return self.backend(name).execute(operand, b)
+
+    def _candidate_order(self, decision: DispatchDecision) -> List[str]:
+        """Candidates for one execute: healthy by rank, then quarantined.
+
+        Quarantined backends tick one step closer to their probe on every
+        execute that passes them over; one with an expired countdown is
+        admitted at its ranked position (the probe attempt).  Quarantined
+        candidates are kept at the tail as a last resort so an execute never
+        fails without trying every registered candidate.
+        """
+        ranked = [decision.backend] + [
+            name for name, _ in decision.ranking if name != decision.backend
+        ]
+        admitted: List[str] = []
+        deferred: List[str] = []
+        for name in ranked:
+            remaining = self._quarantine.get(name)
+            if remaining is None or remaining <= 0:
+                admitted.append(name)
+            else:
+                self._quarantine[name] = remaining - 1
+                deferred.append(name)
+        return admitted + deferred
+
+    def execute(
+        self,
+        operand: SpmmOperand,
+        b: np.ndarray,
+        bias: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """``A @ B (+ bias)`` through the dispatched backend, with failover.
+
+        ``b`` may be ``(K, C)`` or a batch ``(B, K, C)``; batched execution
+        is slab-bit-exact.  Without a bias the result is bit-for-bit the
+        chosen backend's direct output; the bias epilogue adds
+        ``bias.reshape(R, 1)`` exactly like the Spatha plan does.  A
+        non-finite RHS demotes the dense fallback to the fastest
+        sparse-format backend (see :meth:`_attempt`).
+
+        When a candidate raises :class:`BackendExecutionError` the walk
+        continues down the cost ranking; the result served by a fallback is
+        bit-for-bit what invoking that fallback directly would return,
+        because the fallback runs the identical public entry point.  The
+        failover is recorded on the decision, the circuit breaker counts the
+        failure, and only when *every* candidate fails does the call raise.
+        """
+        b = _validate_rhs(operand, b)
+        decision = self.dispatch(operand, b.shape[-1])
+        out: Optional[np.ndarray] = None
+        errors: List[str] = []
+        first_failed: Optional[str] = None
+        for name in self._candidate_order(decision):
+            try:
+                out = self._attempt(operand, b, name, decision)
+            except BackendExecutionError as exc:
+                failed = exc.backend or name
+                self._record_failure(failed)
+                errors.append(f"{failed}: {exc}")
+                if first_failed is None:
+                    first_failed = name
+                continue
+            self._record_success(name)
+            if first_failed is not None:
+                decision.record_failover(first_failed, name)
+                self.failover_count += 1
+            break
         if out is None:
-            out = self.backend(chosen).execute(operand, b)
+            raise BackendExecutionError(
+                f"{self.name or 'dispatcher'}: all candidate backends failed "
+                f"for operand {operand.name or operand.shape}: " + "; ".join(errors)
+            )
         if bias is not None:
             r = operand.r
             bias = np.asarray(bias, dtype=np.float32)

@@ -1,6 +1,6 @@
 """Spatha: the paper's high-performance V:N:M SpMM library (Section 4)."""
 
-from .config import KernelConfig, candidate_configs, default_config
+from .config import KernelConfig, UnsupportedTilingError, candidate_configs, default_config
 from .library import Spatha
 from .perf_model import SPATHA_COMPUTE_EFFICIENCY, estimate_time, speedup_vs_dense, theoretical_speedup_cap
 from .plan import SpmmPlan
@@ -26,6 +26,7 @@ __all__ = [
     "StageBreakdown",
     "compute_stage_breakdown",
     "TileCounts",
+    "UnsupportedTilingError",
     "compute_tile_counts",
     "condensed_k",
     "iterate_output_tiles",

@@ -29,6 +29,19 @@ from ...hardware.occupancy import BlockResources
 from ...formats.vnm import SELECTED_COLUMNS
 
 
+class UnsupportedTilingError(ValueError):
+    """The problem has no launchable template instantiation.
+
+    Raised when the template space cannot tile the operand — a V with no
+    valid warp-tile divisor, or an R not divisible by ``BSr = V``.  This is
+    the one *expected* tuner failure: the dispatcher handles it by costing
+    the padded launch the real library would run instead.  A subclass of
+    :class:`ValueError` so existing callers that treat it as an
+    invalid-problem error keep working; the dispatcher catches exactly this
+    type so genuine model bugs are never swallowed.
+    """
+
+
 @dataclass(frozen=True)
 class KernelConfig:
     """One instantiation of the Spatha SpMM template."""
@@ -175,5 +188,10 @@ def candidate_configs(v: int, c: int) -> List[KernelConfig]:
                         continue
                     configs.append(config)
     if not configs:
-        configs.append(default_config(v))
+        try:
+            configs.append(default_config(v))
+        except ValueError as exc:
+            raise UnsupportedTilingError(
+                f"no launchable template instantiation for V={v}"
+            ) from exc
     return configs

@@ -24,7 +24,7 @@ from typing import Iterator, Tuple
 
 import numpy as np
 
-from .config import KernelConfig
+from .config import KernelConfig, UnsupportedTilingError
 from ...formats.vnm import SELECTED_COLUMNS, VNMSparseMatrix
 
 
@@ -73,7 +73,7 @@ def condensed_k(k: int, m: int, pad: bool = True) -> int:
 def compute_tile_counts(r: int, k: int, c: int, m: int, config: KernelConfig) -> TileCounts:
     """Tiling statistics for an ``R x K x C`` problem with inner pattern N:M."""
     if r % config.bs_r:
-        raise ValueError(
+        raise UnsupportedTilingError(
             f"R ({r}) must be divisible by BSr=V ({config.bs_r}); pad the operand first"
         )
     kc = condensed_k(k, m)

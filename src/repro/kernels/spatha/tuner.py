@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Tuple
 
 from .config import KernelConfig, candidate_configs, default_config
 from .perf_model import estimate_time
+from .tiles import UnsupportedTilingError
 from ..common import GemmProblem, KernelResult
 from ...hardware.spec import GPUSpec, rtx3090
 
@@ -80,8 +81,18 @@ class SpathaTuner:
                 continue  # config incompatible with this problem (e.g. R % BSr)
             record.results.append((config, result.time_us))
         if not record.results:
-            fallback = default_config(problem.v)
-            result = estimate_time(problem, config=fallback, gpu=self.gpu)
+            try:
+                fallback = default_config(problem.v)
+                result = estimate_time(problem, config=fallback, gpu=self.gpu)
+            except ValueError as exc:
+                # Every candidate failed and so did the default: this problem
+                # has no launchable tiling at all.  Surface that as the one
+                # *typed* expected failure so callers (the dispatcher's padded
+                # proxy path) can distinguish it from genuine model bugs.
+                raise UnsupportedTilingError(
+                    f"no launchable template instantiation for V={problem.v} "
+                    f"on R={problem.r} ({exc})"
+                ) from exc
             record.results.append((fallback, result.time_us))
         record.results.sort(key=lambda pair: pair[1])
         self._cache[sig] = record

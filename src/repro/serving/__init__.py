@@ -50,11 +50,28 @@ from .batcher import (
 )
 from .continuous import CompletionRecord, ContinuousBatcher, plan_continuous_batch
 from .engine import ServingEngine
+from .faults import (
+    OUTCOME_FAILED,
+    OUTCOME_OK,
+    OUTCOME_SHED,
+    OUTCOME_STATES,
+    OUTCOME_TIMED_OUT,
+    BackendExecutionError,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    FaultyBackend,
+    RequestOutcome,
+    outcome_counts,
+)
 from .model_engine import ModelServingEngine
 from .simulate import (
+    ChaosSimReport,
     ServingSimReport,
     SimulatedRequest,
     plan_async_closings,
+    poisson_arrivals,
+    simulate_chaos,
     simulate_serving,
     sweep_batch_windows,
     uniform_arrivals,
@@ -62,19 +79,34 @@ from .simulate import (
 
 __all__ = [
     "DEFAULT_TOKEN_BUCKETS",
+    "OUTCOME_FAILED",
+    "OUTCOME_OK",
+    "OUTCOME_SHED",
+    "OUTCOME_STATES",
+    "OUTCOME_TIMED_OUT",
     "AsyncWindowBatcher",
+    "BackendExecutionError",
     "BucketKey",
+    "ChaosSimReport",
     "CompletionRecord",
     "ContinuousBatcher",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultyBackend",
     "MicroBatch",
     "ModelServingEngine",
     "Request",
+    "RequestOutcome",
     "ShapeBucketBatcher",
     "ServingEngine",
     "ServingSimReport",
     "SimulatedRequest",
+    "outcome_counts",
     "plan_async_closings",
     "plan_continuous_batch",
+    "poisson_arrivals",
+    "simulate_chaos",
     "simulate_serving",
     "sweep_batch_windows",
     "uniform_arrivals",

@@ -42,11 +42,15 @@ class Request:
 
     ``activations`` has shape ``(tokens, features)`` — the layer-facing
     layout; the batcher transposes into the kernel's ``(K, C)`` RHS form.
+    ``deadline_us``, when set, is the last engine-clock instant at which
+    the request may still complete; a request scheduled later than that is
+    reported ``timed_out`` instead of executing.
     """
 
     request_id: str
     activations: np.ndarray
     arrival_us: float = 0.0
+    deadline_us: Optional[float] = None
 
     def __post_init__(self) -> None:
         arr = np.asarray(self.activations, dtype=np.float32)
@@ -54,7 +58,20 @@ class Request:
             raise ValueError(
                 f"activations must be (tokens >= 1, features), got {np.shape(self.activations)}"
             )
+        if self.deadline_us is not None and self.deadline_us < self.arrival_us:
+            raise ValueError(
+                f"request {self.request_id!r}: deadline_us ({self.deadline_us}) precedes "
+                f"arrival_us ({self.arrival_us})"
+            )
         object.__setattr__(self, "activations", arr)
+
+    def expired_at(self, now_us: float) -> bool:
+        """True when the deadline has passed at ``now_us``.
+
+        A request scheduled exactly at its deadline still completes on
+        time, so expiry is strict: ``deadline_us < now_us``.
+        """
+        return self.deadline_us is not None and self.deadline_us < now_us
 
     @property
     def tokens(self) -> int:
@@ -63,6 +80,21 @@ class Request:
     @property
     def features(self) -> int:
         return self.activations.shape[1]
+
+
+def _reject_non_finite(request: Request) -> None:
+    """Refuse NaN/Inf payloads at intake, naming the offending request.
+
+    One non-finite value would otherwise poison every batchmate's rows of
+    the batched forward; rejecting at ``submit`` keeps the queue clean.
+    (Values that only overflow under the kernels' fp16 rounding are still
+    screened at execute time by the engines' poison isolation.)
+    """
+    if not np.isfinite(request.activations).all():
+        raise ValueError(
+            f"request {request.request_id!r} has non-finite activations (NaN/Inf); "
+            f"rejected at submit to protect its batchmates"
+        )
 
 
 @dataclass(frozen=True)
@@ -258,6 +290,7 @@ class ShapeBucketBatcher:
             raise TypeError("submit expects a Request")
         if request.request_id in self._seen_ids:
             raise ValueError(f"duplicate request_id {request.request_id!r} in this window")
+        _reject_non_finite(request)
         self._seen_ids.add(request.request_id)
         self._pending.append(request)
         return self.bucket_key(request)
@@ -273,6 +306,7 @@ class ShapeBucketBatcher:
         for request in batch:
             if not isinstance(request, Request):
                 raise TypeError("submit_many expects Request instances")
+            _reject_non_finite(request)
         ids = [r.request_id for r in batch]
         if len(set(ids)) != len(ids):
             raise ValueError("duplicate request_ids within the submitted batch")
@@ -287,6 +321,21 @@ class ShapeBucketBatcher:
     def pending(self) -> int:
         """Number of queued requests."""
         return len(self._pending)
+
+    def expire_due(self, now_us: float) -> List[Request]:
+        """Remove and return queued requests whose deadline passed at ``now_us``.
+
+        Deterministic (returned in ``request_id`` order); the evicted ids
+        become reusable.  Deadline-less requests never expire.  Drivers
+        call this before scheduling so an expired request neither occupies
+        a batch slot nor holds its rung open.
+        """
+        expired = [r for r in self._pending if r.expired_at(now_us)]
+        if expired:
+            gone = {r.request_id for r in expired}
+            self._pending = [r for r in self._pending if r.request_id not in gone]
+            self._seen_ids -= gone
+        return sorted(expired, key=lambda r: r.request_id)
 
     def plan_batches(self, items, key_of, id_of) -> List[Tuple[BucketKey, List]]:
         """The batching policy, shared by :meth:`drain` and the simulator.

@@ -34,9 +34,21 @@ per-request :class:`CompletionRecord` metadata.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from .batcher import MicroBatch, Request, ShapeBucketBatcher
+from .batcher import (
+    DEFAULT_TOKEN_BUCKETS,
+    BucketKey,
+    MicroBatch,
+    Request,
+    ShapeBucketBatcher,
+    _reject_non_finite,
+)
+
+#: Admission-control shedding policies.
+SHED_REJECT_NEWEST = "reject-newest"
+SHED_DROP_EXPIRED = "drop-expired"
+SHED_POLICIES: Tuple[str, ...] = (SHED_REJECT_NEWEST, SHED_DROP_EXPIRED)
 
 
 @dataclass(frozen=True)
@@ -128,7 +140,111 @@ class ContinuousBatcher(ShapeBucketBatcher):
     ``MicroBatch`` path as a windowed drain, so per-request outputs are
     invariant to arrival interleaving *and* to the step cadence, bit for
     bit.
+
+    Admission control (overload shedding) is opt-in: with
+    ``max_queue_depth`` set, a submit that would push the queue past the
+    bound is shed deterministically.  ``shed_policy="reject-newest"``
+    refuses the incoming request outright; ``"drop-expired"`` first evicts
+    queued requests whose deadline has already passed at the incoming
+    request's arrival time (they were doomed anyway) and only sheds the
+    newcomer if the queue is still full.  Shed and evicted requests land
+    in :meth:`take_shed` / :meth:`take_expired` so drivers can report
+    their outcomes; the cumulative brownout counters are on
+    :meth:`admission_stats`.
     """
+
+    def __init__(
+        self,
+        token_buckets: Tuple[int, ...] = DEFAULT_TOKEN_BUCKETS,
+        max_batch_size: int = 64,
+        max_queue_depth: Optional[int] = None,
+        shed_policy: str = SHED_REJECT_NEWEST,
+    ) -> None:
+        super().__init__(token_buckets=token_buckets, max_batch_size=max_batch_size)
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1 (or None for unbounded)")
+        if shed_policy not in SHED_POLICIES:
+            raise ValueError(f"shed_policy must be one of {SHED_POLICIES}, got {shed_policy!r}")
+        self.max_queue_depth = max_queue_depth
+        self.shed_policy = shed_policy
+        #: Requests shed/evicted since the last take_*; drivers drain these
+        #: into RequestOutcomes.
+        self.shed_log: List[Request] = []
+        self.expired_log: List[Request] = []
+        #: Cumulative brownout counters (never reset by take_*).
+        self.total_shed = 0
+        self.total_expired = 0
+
+    # ------------------------------------------------------------------
+    # Admission control
+    # ------------------------------------------------------------------
+    def submit(self, request: Request) -> Optional[BucketKey]:
+        """Enqueue one request, or shed it under overload (returns ``None``).
+
+        A shed request is still validated (type, finiteness, id clash) so
+        shedding can never mask a malformed submission; it just never
+        enters the queue, and is recorded for outcome reporting.
+        """
+        if self.max_queue_depth is None or self.pending < self.max_queue_depth:
+            return super().submit(request)
+        if not isinstance(request, Request):
+            raise TypeError("submit expects a Request")
+        if request.request_id in self._seen_ids:
+            raise ValueError(f"duplicate request_id {request.request_id!r} in this window")
+        _reject_non_finite(request)
+        if self.shed_policy == SHED_DROP_EXPIRED:
+            expired = self.expire_due(request.arrival_us)
+            self.expired_log.extend(expired)
+            self.total_expired += len(expired)
+            if self.pending < self.max_queue_depth:
+                return super().submit(request)
+        self.shed_log.append(request)
+        self.total_shed += 1
+        return None
+
+    def submit_many(self, requests) -> None:
+        """Enqueue several requests, shedding under overload per :meth:`submit`.
+
+        Validation stays atomic (types, finiteness, duplicate ids — among
+        themselves and against the queue — checked before anything is
+        queued); admission is then applied per request in order, so under
+        overload the earliest submissions win the queue slots.
+        """
+        batch = list(requests)
+        for request in batch:
+            if not isinstance(request, Request):
+                raise TypeError("submit_many expects Request instances")
+            _reject_non_finite(request)
+        ids = [r.request_id for r in batch]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate request_ids within the submitted batch")
+        clashes = self._seen_ids.intersection(ids)
+        if clashes:
+            raise ValueError(f"duplicate request_ids in this window: {sorted(clashes)}")
+        for request in batch:
+            self.submit(request)
+
+    def take_shed(self) -> List[Request]:
+        """Drain the shed log (requests refused admission since last call)."""
+        out = self.shed_log
+        self.shed_log = []
+        return out
+
+    def take_expired(self) -> List[Request]:
+        """Drain the expiry log (requests evicted by drop-expired shedding)."""
+        out = self.expired_log
+        self.expired_log = []
+        return out
+
+    def admission_stats(self) -> Dict[str, object]:
+        """Brownout counters for the engines' ``stats()``."""
+        return {
+            "max_queue_depth": self.max_queue_depth,
+            "shed_policy": self.shed_policy,
+            "shed": self.total_shed,
+            "expired": self.total_expired,
+            "pending": self.pending,
+        }
 
     def arrived(self, now_us: float) -> List[Request]:
         """The queued requests whose ``arrival_us`` has passed at ``now_us``."""

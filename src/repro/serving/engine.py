@@ -29,9 +29,138 @@ import numpy as np
 
 from .batcher import MicroBatch, Request, ShapeBucketBatcher
 from .continuous import CompletionRecord
+from .faults import (
+    OUTCOME_FAILED,
+    OUTCOME_OK,
+    OUTCOME_SHED,
+    OUTCOME_TIMED_OUT,
+    RequestOutcome,
+    outcome_counts,
+)
 from ..formats.vnm import VNMSparseMatrix
 from ..hardware.trace import ExecutionTrace
-from ..kernels.dispatch import KernelDispatcher, SpmmOperand, default_dispatcher
+from ..kernels.dispatch import (
+    BackendExecutionError,
+    KernelDispatcher,
+    SpmmOperand,
+    default_dispatcher,
+)
+
+
+class OutcomeTrackingMixin:
+    """Fault-tolerant batch execution and per-request outcome bookkeeping.
+
+    Host classes provide ``batcher`` and ``_execute_batch`` and initialise
+    ``outcomes`` (a ``{request_id: RequestOutcome}`` dict).  The mixin
+    wraps ``_execute_batch`` into :meth:`_run_batch`, which
+
+    * screens **poisoned payloads** — a request whose activations are
+      non-finite is recorded ``failed`` and removed before the batched
+      forward, so it can never leak NaN into its batchmates' rows;
+    * isolates **execution failures** — when every dispatch candidate
+      fails (:class:`~repro.kernels.dispatch.BackendExecutionError`), the
+      micro-batch is bisected and each half retried, narrowing down to the
+      poisonous request(s); since batched execution is bit-identical to
+      sequential execution, the surviving requests' outputs are unchanged
+      by the split;
+    * records a :class:`~repro.serving.faults.RequestOutcome` per request
+      (``ok`` / ``failed`` here; the deadline and admission hooks below
+      add ``timed_out`` / ``shed``).
+
+    Only ``BackendExecutionError`` is treated as a request-level fault;
+    configuration errors (shape mismatches, routing guards) still raise.
+    """
+
+    def _record_outcome(
+        self, request_id: str, status: str, detail: str = "", now_us: float = 0.0
+    ) -> None:
+        self.outcomes[request_id] = RequestOutcome(
+            request_id=request_id, status=status, detail=detail, completed_us=float(now_us)
+        )
+
+    def _run_batch(self, batch: MicroBatch, now_us: float = 0.0) -> Dict[str, np.ndarray]:
+        """Execute one micro-batch tolerantly; returns the ok requests' outputs."""
+        healthy = []
+        for req in batch.requests:
+            if np.isfinite(req.activations).all():
+                healthy.append(req)
+            else:
+                self._record_outcome(
+                    req.request_id,
+                    OUTCOME_FAILED,
+                    "non-finite payload isolated from its micro-batch",
+                    now_us,
+                )
+        results: Dict[str, np.ndarray] = {}
+        if healthy:
+            if len(healthy) < batch.batch_size:
+                batch = MicroBatch(key=batch.key, requests=healthy)
+            self._run_tolerant(batch, now_us, results)
+        return results
+
+    def _run_tolerant(
+        self, batch: MicroBatch, now_us: float, results: Dict[str, np.ndarray]
+    ) -> None:
+        try:
+            out = self._execute_batch(batch)
+        except BackendExecutionError as exc:
+            if batch.batch_size == 1:
+                req = batch.requests[0]
+                self._record_outcome(req.request_id, OUTCOME_FAILED, str(exc), now_us)
+                return
+            # Bisect: batched == sequential bit-exactness means re-running a
+            # half reproduces its requests' bits exactly, so isolation never
+            # perturbs the survivors.
+            mid = batch.batch_size // 2
+            self._run_tolerant(MicroBatch(key=batch.key, requests=batch.requests[:mid]), now_us, results)
+            self._run_tolerant(MicroBatch(key=batch.key, requests=batch.requests[mid:]), now_us, results)
+            return
+        for req in batch.requests:
+            self._record_outcome(req.request_id, OUTCOME_OK, "", now_us)
+        results.update(out)
+
+    def _expire_pending(self, now_us: float) -> None:
+        """Evict deadline-passed queued requests, recording ``timed_out``.
+
+        The outcome's clock is the request's own deadline (the instant it
+        became undeliverable), so the record is invariant to how late the
+        driver's next step happened to run.
+        """
+        expire_due = getattr(self.batcher, "expire_due", None)
+        if expire_due is None:
+            return
+        for req in expire_due(now_us):
+            self._record_outcome(
+                req.request_id,
+                OUTCOME_TIMED_OUT,
+                f"deadline {req.deadline_us:.1f}us passed before execution",
+                req.deadline_us,
+            )
+
+    def _drain_admission(self) -> None:
+        """Collect shed/evicted requests from an admission-control batcher."""
+        take_shed = getattr(self.batcher, "take_shed", None)
+        if take_shed is not None:
+            for req in take_shed():
+                self._record_outcome(
+                    req.request_id,
+                    OUTCOME_SHED,
+                    "rejected by admission control (queue full)",
+                    req.arrival_us,
+                )
+        take_expired = getattr(self.batcher, "take_expired", None)
+        if take_expired is not None:
+            for req in take_expired():
+                self._record_outcome(
+                    req.request_id,
+                    OUTCOME_TIMED_OUT,
+                    "evicted by drop-expired shedding",
+                    req.deadline_us if req.deadline_us is not None else req.arrival_us,
+                )
+
+    def outcome_stats(self) -> Dict[str, int]:
+        """Outcome counts per terminal state (all four keys present)."""
+        return outcome_counts(self.outcomes.values())
 
 
 class ContinuousDriverMixin:
@@ -66,13 +195,21 @@ class ContinuousDriverMixin:
                 "use flush() with a plain ShapeBucketBatcher or poll() with an "
                 "AsyncWindowBatcher"
             )
+        # Outcome hooks: collect what admission control shed at submit time
+        # and evict deadline-passed requests before they occupy batch slots.
+        self._drain_admission()
+        self._expire_pending(now_us)
         batch = next_batch(now_us)
         if batch is None:
             return {}
-        results = self._execute_batch(batch)
+        results = self._run_batch(batch, now_us)
         step_index = self.steps_executed
         self.steps_executed += 1
         for req in batch.requests:
+            # CompletionRecords describe *successful* completions; failed
+            # batchmates get a RequestOutcome instead.
+            if req.request_id not in results:
+                continue
             self.completions[req.request_id] = CompletionRecord(
                 request_id=req.request_id,
                 step=step_index,
@@ -163,9 +300,10 @@ class AsyncDriverMixin:
                 "poll() needs a deadline-aware batcher (AsyncWindowBatcher); "
                 "use flush() with a plain ShapeBucketBatcher"
             )
+        self._expire_pending(now_us)
         results: Dict[str, np.ndarray] = {}
         for batch in drain_due(now_us):
-            results.update(self._execute_batch(batch))
+            results.update(self._run_batch(batch, now_us))
         return results
 
     def serve_arrivals(self, requests: Iterable[Request]) -> Dict[str, np.ndarray]:
@@ -187,7 +325,7 @@ class AsyncDriverMixin:
         return results
 
 
-class ServingEngine(AsyncDriverMixin, ContinuousDriverMixin):
+class ServingEngine(OutcomeTrackingMixin, AsyncDriverMixin, ContinuousDriverMixin):
     """Dynamic-batching server for one sparse linear operator.
 
     Three scheduling drivers share the one execution path (and therefore
@@ -243,6 +381,8 @@ class ServingEngine(AsyncDriverMixin, ContinuousDriverMixin):
         #: Continuous-serving bookkeeping (populated by the step loop).
         self.steps_executed = 0
         self.completions: Dict[str, CompletionRecord] = {}
+        #: Per-request terminal states (ok / failed / timed_out / shed).
+        self.outcomes: Dict[str, RequestOutcome] = {}
         if warm:
             self.dispatcher.warm(self.operand, cs=warm_buckets)
 
@@ -321,8 +461,9 @@ class ServingEngine(AsyncDriverMixin, ContinuousDriverMixin):
         Outputs have shape ``(tokens, R)`` per request (padding trimmed).
         """
         results: Dict[str, np.ndarray] = {}
+        self._drain_admission()
         for batch in self.batcher.drain():
-            results.update(self._execute_batch(batch))
+            results.update(self._run_batch(batch))
         return results
 
     def serve(self, requests: Iterable[Request]) -> Dict[str, np.ndarray]:
@@ -356,6 +497,13 @@ class ServingEngine(AsyncDriverMixin, ContinuousDriverMixin):
                 "steps": self.steps_executed,
                 "completions": len(self.completions),
             },
+            "outcomes": self.outcome_stats(),
+            "dispatch_health": self.dispatcher.health_stats(),
+            "admission": (
+                self.batcher.admission_stats()
+                if hasattr(self.batcher, "admission_stats")
+                else None
+            ),
             "modelled_kernel_time_us": self.trace.total_time_us,
             "trace": self.trace.summary(),
         }

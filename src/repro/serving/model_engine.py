@@ -61,7 +61,8 @@ import numpy as np
 
 from .batcher import MicroBatch, Request, ShapeBucketBatcher
 from .continuous import CompletionRecord
-from .engine import AsyncDriverMixin, ContinuousDriverMixin
+from .engine import AsyncDriverMixin, ContinuousDriverMixin, OutcomeTrackingMixin
+from .faults import RequestOutcome
 from ..hardware.trace import ExecutionTrace
 from ..kernels.dispatch import KernelDispatcher
 from ..kernels.spatha import SpmmPlan
@@ -70,7 +71,7 @@ from ..models.layers import SparseLinear
 from ..models.transformer import TransformerEncoder
 
 
-class ModelServingEngine(AsyncDriverMixin, ContinuousDriverMixin):
+class ModelServingEngine(OutcomeTrackingMixin, AsyncDriverMixin, ContinuousDriverMixin):
     """Dynamic-batching server for a whole :class:`TransformerEncoder`.
 
     Three scheduling drivers share the one execution path (and therefore
@@ -156,6 +157,8 @@ class ModelServingEngine(AsyncDriverMixin, ContinuousDriverMixin):
         #: Continuous-serving bookkeeping (populated by the step loop).
         self.steps_executed = 0
         self.completions: Dict[str, CompletionRecord] = {}
+        #: Per-request terminal states (ok / failed / timed_out / shed).
+        self.outcomes: Dict[str, RequestOutcome] = {}
         #: Engine-lifetime plan registry: qualified layer name -> SpmmPlan.
         self.plans: Dict[str, SpmmPlan] = {}
         self.plan_hits = 0
@@ -307,8 +310,9 @@ class ModelServingEngine(AsyncDriverMixin, ContinuousDriverMixin):
     def flush(self) -> Dict[str, np.ndarray]:
         """Run everything queued through the encoder; ``{request_id: (tokens, hidden)}``."""
         results: Dict[str, np.ndarray] = {}
+        self._drain_admission()
         for batch in self.batcher.drain():
-            results.update(self._execute_batch(batch))
+            results.update(self._run_batch(batch))
         return results
 
     # poll() / serve_arrivals() are inherited from AsyncDriverMixin (the
@@ -356,6 +360,13 @@ class ModelServingEngine(AsyncDriverMixin, ContinuousDriverMixin):
                 "steps": self.steps_executed,
                 "completions": len(self.completions),
             },
+            "outcomes": self.outcome_stats(),
+            "dispatch_health": self.dispatcher.health_stats(),
+            "admission": (
+                self.batcher.admission_stats()
+                if hasattr(self.batcher, "admission_stats")
+                else None
+            ),
             "sparse_projections": len(self._sparse_layers()),
             "plan_cache": {
                 "size": len(self.plans),

@@ -25,24 +25,38 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .batcher import BucketKey, ShapeBucketBatcher
-from .continuous import plan_continuous_batch
+from .continuous import SHED_POLICIES, SHED_DROP_EXPIRED, plan_continuous_batch
+from .faults import (
+    OUTCOME_FAILED,
+    OUTCOME_OK,
+    OUTCOME_SHED,
+    OUTCOME_STATES,
+    OUTCOME_TIMED_OUT,
+    FaultPlan,
+)
 from ..hardware.trace import ExecutionTrace
 from ..kernels.dispatch import KernelDispatcher, SpmmOperand
 
 
 @dataclass(frozen=True)
 class SimulatedRequest:
-    """A request reduced to what the simulator needs: size and arrival."""
+    """A request reduced to what the simulator needs: size, arrival, deadline."""
 
     request_id: str
     tokens: int
     arrival_us: float = 0.0
+    #: Last instant the request may still complete (None = no deadline).
+    deadline_us: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.tokens <= 0:
             raise ValueError("tokens must be positive")
         if self.arrival_us < 0:
             raise ValueError("arrival_us must be non-negative")
+        if self.deadline_us is not None and self.deadline_us < self.arrival_us:
+            raise ValueError(
+                f"request {self.request_id!r}: deadline_us precedes arrival_us"
+            )
 
 
 def uniform_arrivals(
@@ -64,6 +78,48 @@ def uniform_arrivals(
             request_id=f"{prefix}-{i:06d}",
             tokens=int(tokens[i % len(tokens)]),
             arrival_us=i * gap_us,
+        )
+        for i in range(num_requests)
+    ]
+
+
+def poisson_arrivals(
+    num_requests: int,
+    rate_rps: float,
+    tokens: Sequence[int],
+    seed: int = 0,
+    deadline_after_us: Optional[float] = None,
+    prefix: str = "req",
+) -> List[SimulatedRequest]:
+    """Seeded Poisson arrivals at mean ``rate_rps`` with cycling token counts.
+
+    The bursty counterpart of :func:`uniform_arrivals` (exponential
+    inter-arrival gaps drawn from ``default_rng(seed)`` — fully replayable),
+    used by the chaos scenarios: a Poisson stream at the same mean rate
+    produces the transient queue build-ups that exercise admission control.
+    ``deadline_after_us`` stamps every request with a deadline that many
+    microseconds after its arrival.
+    """
+    if num_requests <= 0:
+        raise ValueError("num_requests must be positive")
+    if rate_rps <= 0:
+        raise ValueError("rate_rps must be positive")
+    if not tokens:
+        raise ValueError("tokens must be non-empty")
+    if deadline_after_us is not None and deadline_after_us < 0:
+        raise ValueError("deadline_after_us must be non-negative")
+    rng = np.random.default_rng(int(seed))
+    arrivals = np.cumsum(rng.exponential(1e6 / rate_rps, size=num_requests))
+    return [
+        SimulatedRequest(
+            request_id=f"{prefix}-{i:06d}",
+            tokens=int(tokens[i % len(tokens)]),
+            arrival_us=float(arrivals[i]),
+            deadline_us=(
+                float(arrivals[i]) + deadline_after_us
+                if deadline_after_us is not None
+                else None
+            ),
         )
         for i in range(num_requests)
     ]
@@ -113,6 +169,12 @@ class ServingSimReport:
         return float(np.percentile(values, 99)) if values else 0.0
 
     @property
+    def p999_latency_us(self) -> float:
+        """Extreme-tail completion latency (ROADMAP item 3 asks for p999)."""
+        values = list(self.latencies_us.values())
+        return float(np.percentile(values, 99.9)) if values else 0.0
+
+    @property
     def kernel_time_us(self) -> float:
         """Total modelled kernel time (the GPU-busy portion of the makespan)."""
         return self.trace.total_time_us
@@ -130,6 +192,7 @@ class ServingSimReport:
             "mean_latency_us": round(self.mean_latency_us, 1),
             "p95_latency_us": round(self.p95_latency_us, 1),
             "p99_latency_us": round(self.p99_latency_us, 1),
+            "p999_latency_us": round(self.p999_latency_us, 1),
             "kernel_time_us": round(self.kernel_time_us, 1),
         }
 
@@ -375,3 +438,268 @@ def sweep_batch_windows(
         )
         for w in windows_us
     ]
+
+
+@dataclass
+class ChaosSimReport:
+    """Outcome of one chaos scenario: availability, goodput, tails, health.
+
+    Everything is derived from the per-request terminal states and the
+    completion latencies of the ``ok`` requests.  Deterministic: the same
+    (requests, fault plan, knobs) replays to the identical report.
+    """
+
+    seed: int
+    num_requests: int
+    makespan_us: float
+    #: Terminal state per request id (one of OUTCOME_STATES).
+    outcomes: Dict[str, str] = field(default_factory=dict)
+    #: Completion latency (finish - arrival) of the ok requests only.
+    latencies_us: Dict[str, float] = field(default_factory=dict)
+    trace: ExecutionTrace = field(default_factory=ExecutionTrace)
+    #: Circuit-breaker traffic of the modelled executor.
+    failovers: int = 0
+    quarantines: int = 0
+    readmissions: int = 0
+    injected_failures: int = 0
+    injected_latency_us: float = 0.0
+
+    def counts(self) -> Dict[str, int]:
+        """Requests per terminal state (all four keys always present)."""
+        out = {state: 0 for state in OUTCOME_STATES}
+        for status in self.outcomes.values():
+            out[status] += 1
+        return out
+
+    @property
+    def availability(self) -> float:
+        """Fraction of requests that completed ``ok``."""
+        return self.counts()[OUTCOME_OK] / self.num_requests if self.num_requests else 0.0
+
+    @property
+    def goodput_rps(self) -> float:
+        """``ok`` completions per second of simulated makespan."""
+        if self.makespan_us <= 0:
+            return 0.0
+        return self.counts()[OUTCOME_OK] / (self.makespan_us * 1e-6)
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of requests refused by admission control."""
+        return self.counts()[OUTCOME_SHED] / self.num_requests if self.num_requests else 0.0
+
+    def _percentile(self, q: float) -> float:
+        values = list(self.latencies_us.values())
+        return float(np.percentile(values, q)) if values else 0.0
+
+    @property
+    def p50_latency_us(self) -> float:
+        return self._percentile(50)
+
+    @property
+    def p99_latency_us(self) -> float:
+        return self._percentile(99)
+
+    @property
+    def p999_latency_us(self) -> float:
+        return self._percentile(99.9)
+
+    def summary(self) -> Dict[str, object]:
+        """Flat record for tables/JSON (one chaos-scenario row)."""
+        counts = self.counts()
+        return {
+            "seed": self.seed,
+            "requests": self.num_requests,
+            "availability": round(self.availability, 4),
+            "goodput_rps": round(self.goodput_rps, 1),
+            "shed_rate": round(self.shed_rate, 4),
+            "ok": counts[OUTCOME_OK],
+            "failed": counts[OUTCOME_FAILED],
+            "timed_out": counts[OUTCOME_TIMED_OUT],
+            "shed": counts[OUTCOME_SHED],
+            "p50_latency_us": round(self.p50_latency_us, 1),
+            "p99_latency_us": round(self.p99_latency_us, 1),
+            "p999_latency_us": round(self.p999_latency_us, 1),
+            "failovers": self.failovers,
+            "quarantines": self.quarantines,
+            "readmissions": self.readmissions,
+            "injected_failures": self.injected_failures,
+        }
+
+
+def simulate_chaos(
+    operand: SpmmOperand,
+    requests: Sequence[SimulatedRequest],
+    plan: FaultPlan,
+    dispatcher: Optional[KernelDispatcher] = None,
+    batcher: Optional[ShapeBucketBatcher] = None,
+    bucketing: str = "ladder",
+    max_queue_depth: Optional[int] = None,
+    shed_policy: str = "reject-newest",
+    failure_threshold: int = 3,
+    probe_interval: int = 4,
+) -> ChaosSimReport:
+    """Replay a fault + overload scenario through the continuous scheduler.
+
+    The measurement surface of the fault-tolerance layer: the executor runs
+    the same window-free FCFS chunk policy as ``simulate_serving``'s
+    continuous mode, but consults a :class:`~repro.serving.faults.FaultPlan`
+    per (backend, call index) — a failed attempt costs its modelled time
+    and the executor walks down the dispatch ranking exactly like
+    :meth:`KernelDispatcher.execute` (circuit breaker included:
+    ``failure_threshold`` consecutive failures quarantine a backend,
+    ``probe_interval`` passed-over executes later it gets one probe).
+    Admission control (``max_queue_depth`` / ``shed_policy``) sheds under
+    overload, and deadlines are enforced both at scheduling time (expired
+    requests never occupy a batch slot) and at completion time (a chunk
+    finishing past a member's deadline reports it ``timed_out``).
+
+    Deterministic end to end: no wall-clock, no global RNG — the same
+    inputs replay to the identical :class:`ChaosSimReport`.
+    """
+    if bucketing not in {"ladder", "exact"}:
+        raise ValueError(f"unknown bucketing {bucketing!r}; use 'ladder' or 'exact'")
+    if shed_policy not in SHED_POLICIES:
+        raise ValueError(f"shed_policy must be one of {SHED_POLICIES}, got {shed_policy!r}")
+    if max_queue_depth is not None and max_queue_depth < 1:
+        raise ValueError("max_queue_depth must be >= 1 (or None for unbounded)")
+    if failure_threshold < 1 or probe_interval < 1:
+        raise ValueError("failure_threshold and probe_interval must be >= 1")
+    if not requests:
+        raise ValueError("requests must be non-empty")
+    dispatcher = dispatcher if dispatcher is not None else KernelDispatcher()
+    batcher = batcher if batcher is not None else ShapeBucketBatcher()
+
+    def bucket_tokens(tokens: int) -> int:
+        return tokens if bucketing == "exact" else batcher.token_bucket(tokens)
+
+    trace = ExecutionTrace()
+    outcomes: Dict[str, str] = {}
+    latencies: Dict[str, float] = {}
+    report = ChaosSimReport(seed=plan.seed, num_requests=len(requests), makespan_us=0.0)
+    # Modelled executor health state (mirrors KernelDispatcher's breaker).
+    calls: Dict[str, int] = {}
+    streaks: Dict[str, int] = {}
+    quarantine: Dict[str, int] = {}
+    gpu_free_us = 0.0
+    makespan_us = 0.0
+
+    def execute_chunk(key: BucketKey, chunk: List[SimulatedRequest], ready_us: float) -> None:
+        nonlocal gpu_free_us, makespan_us
+        c_total = len(chunk) * key.token_bucket
+        decision = dispatcher.dispatch(operand, key.token_bucket)
+        ranked = [decision.backend] + [
+            name for name, _ in decision.ranking if name != decision.backend
+        ]
+        admitted: List[str] = []
+        deferred: List[str] = []
+        for name in ranked:
+            remaining = quarantine.get(name)
+            if remaining is None or remaining <= 0:
+                admitted.append(name)
+            else:
+                quarantine[name] = remaining - 1
+                deferred.append(name)
+        start_us = max(ready_us, gpu_free_us)
+        elapsed_us = 0.0
+        served: Optional[str] = None
+        first_failed = False
+        for name in admitted + deferred:
+            index = calls.get(name, 0)
+            calls[name] = index + 1
+            fault = plan.decide(name, index)
+            modelled = dispatcher.estimate(operand, c_total, backend=name)
+            elapsed_us += modelled.time_us + fault.latency_us
+            report.injected_latency_us += fault.latency_us
+            if fault.fail:
+                report.injected_failures += 1
+                first_failed = True
+                streaks[name] = streaks.get(name, 0) + 1
+                if name in quarantine:
+                    quarantine[name] = probe_interval
+                elif streaks[name] >= failure_threshold:
+                    quarantine[name] = probe_interval
+                    report.quarantines += 1
+                continue
+            streaks.pop(name, None)
+            if name in quarantine:
+                del quarantine[name]
+                report.readmissions += 1
+            if first_failed:
+                report.failovers += 1
+            served = name
+            execution = modelled.as_execution(category="gemm")
+            execution.meta.update(
+                {
+                    "backend": name,
+                    "batch_size": len(chunk),
+                    "token_bucket": key.token_bucket,
+                    "start_us": start_us,
+                }
+            )
+            trace.record(execution)
+            break
+        finish_us = start_us + elapsed_us
+        gpu_free_us = finish_us
+        makespan_us = max(makespan_us, finish_us)
+        for req in chunk:
+            if served is None:
+                outcomes[req.request_id] = OUTCOME_FAILED
+            elif req.deadline_us is not None and finish_us > req.deadline_us:
+                outcomes[req.request_id] = OUTCOME_TIMED_OUT
+            else:
+                outcomes[req.request_id] = OUTCOME_OK
+                latencies[req.request_id] = finish_us - req.arrival_us
+
+    order = sorted(requests, key=lambda r: (r.arrival_us, r.request_id))
+    pending: List[SimulatedRequest] = []
+    admitted_idx = 0
+    while admitted_idx < len(order) or pending:
+        now_us = gpu_free_us
+        if not pending and admitted_idx < len(order) and order[admitted_idx].arrival_us > now_us:
+            now_us = order[admitted_idx].arrival_us
+        while admitted_idx < len(order) and order[admitted_idx].arrival_us <= now_us:
+            req = order[admitted_idx]
+            admitted_idx += 1
+            if max_queue_depth is not None and len(pending) >= max_queue_depth:
+                if shed_policy == SHED_DROP_EXPIRED:
+                    doomed = [
+                        p
+                        for p in pending
+                        if p.deadline_us is not None and p.deadline_us < req.arrival_us
+                    ]
+                    if doomed:
+                        gone = {p.request_id for p in doomed}
+                        pending = [p for p in pending if p.request_id not in gone]
+                        for p in doomed:
+                            outcomes[p.request_id] = OUTCOME_TIMED_OUT
+                if max_queue_depth is not None and len(pending) >= max_queue_depth:
+                    outcomes[req.request_id] = OUTCOME_SHED
+                    continue
+            pending.append(req)
+        # Scheduling-time deadline enforcement: expired requests never
+        # occupy a batch slot.
+        expired = [p for p in pending if p.deadline_us is not None and p.deadline_us < now_us]
+        if expired:
+            gone = {p.request_id for p in expired}
+            pending = [p for p in pending if p.request_id not in gone]
+            for p in expired:
+                outcomes[p.request_id] = OUTCOME_TIMED_OUT
+        if not pending:
+            continue
+        key, chunk = plan_continuous_batch(
+            pending,
+            key_of=lambda r: BucketKey(features=operand.k, token_bucket=bucket_tokens(r.tokens)),
+            arrival_of=lambda r: r.arrival_us,
+            id_of=lambda r: r.request_id,
+            max_batch_size=batcher.max_batch_size,
+        )
+        taken = {r.request_id for r in chunk}
+        pending = [r for r in pending if r.request_id not in taken]
+        execute_chunk(key, chunk, now_us)
+
+    report.makespan_us = makespan_us
+    report.outcomes = outcomes
+    report.latencies_us = latencies
+    report.trace = trace
+    return report

@@ -16,6 +16,7 @@ from repro.kernels.dispatch import (
 )
 from repro.kernels.spatha import SpmmPlan
 from repro.pruning.masks import apply_mask
+from repro.hardware.spec import rtx3090
 from repro.pruning.vnm import vnm_mask
 
 
@@ -330,3 +331,176 @@ class TestDispatchedExecution:
         from repro.kernels import cublas
 
         assert np.array_equal(out, cublas.gemm(dense, b), equal_nan=True)
+
+
+class ScriptedFailureBackend(Backend):
+    """A cheapest-ranked backend whose execute fails while ``failing`` is set.
+
+    Numerics delegate to cuBLAS, so when it succeeds its output is the
+    dense backend's exact bits; the near-zero cost model makes it the
+    dispatch argmin, which is what lets the tests steer the chosen backend
+    into failure without touching the real libraries.
+    """
+
+    name = "scripted"
+    format = "dense"
+
+    def __init__(self, failing: bool = True):
+        self.failing = failing
+        self.execute_calls = 0
+        self._inner = CublasDenseBackend()
+
+    def estimate(self, operand, c, gpu):
+        result = self._inner.estimate(operand, c, gpu)
+        result.cost.overhead_cycles = 0.0
+        result.cost.compute_cycles = 1e-9
+        result.cost.gmem_cycles = 0.0
+        result.cost.smem_cycles = 0.0
+        return result
+
+    def execute(self, operand, b):
+        self.execute_calls += 1
+        if self.failing:
+            from repro.kernels.dispatch import BackendExecutionError
+
+            raise BackendExecutionError("scripted failure", backend=self.name)
+        return self._inner.execute(operand, b)
+
+
+@pytest.mark.faults
+class TestFailoverAndQuarantine:
+    def _dispatcher(self, failing=True, failure_threshold=2, probe_interval=3):
+        dispatcher = KernelDispatcher(
+            failure_threshold=failure_threshold, probe_interval=probe_interval
+        )
+        scripted = ScriptedFailureBackend(failing=failing)
+        dispatcher.register(scripted)
+        return dispatcher, scripted
+
+    def test_failover_output_is_bit_exact_fallback(self, operand, rng):
+        """When the chosen backend fails, the next-ranked one serves the
+        call and the result is bit-for-bit that backend's direct output."""
+        dispatcher, scripted = self._dispatcher()
+        b = rng.normal(size=(64, 12)).astype(np.float32)
+        decision = dispatcher.dispatch(operand, 12)
+        assert decision.backend == "scripted"
+        fallback = next(n for n, _ in decision.ranking if n != "scripted")
+        out = dispatcher.execute(operand, b)
+        direct = dispatcher.backend(fallback).execute(operand, b)
+        assert np.array_equal(out, direct)
+        assert decision.failovers == {f"scripted->{fallback}": 1}
+        assert dispatcher.health_stats()["failovers"] == 1
+
+    def test_quarantine_after_threshold_and_probe_readmission(self, operand, rng):
+        """K consecutive failures quarantine the backend; after the probe
+        interval it gets one probe attempt, and a healed backend serves
+        again (bit-exact against its own direct execution)."""
+        dispatcher, scripted = self._dispatcher(failure_threshold=2, probe_interval=3)
+        b = rng.normal(size=(64, 12)).astype(np.float32)
+        dispatcher.execute(operand, b)  # failure 1 (failover)
+        assert not dispatcher.is_quarantined("scripted")
+        dispatcher.execute(operand, b)  # failure 2 -> quarantined
+        assert dispatcher.is_quarantined("scripted")
+        assert dispatcher.quarantined() == ("scripted",)
+        # While quarantined, the backend is not attempted at all while
+        # its countdown runs (probe_interval executes pass it over).
+        calls_before = scripted.execute_calls
+        for _ in range(3):
+            dispatcher.execute(operand, b)
+        assert scripted.execute_calls == calls_before
+        # Heal the backend; the countdown has expired, so the next
+        # execute admits it as a probe.
+        scripted.failing = False
+        out = dispatcher.execute(operand, b)
+        assert not dispatcher.is_quarantined("scripted")
+        assert dispatcher.health_stats()["readmissions"] == 1
+        assert np.array_equal(out, ScriptedFailureBackend(failing=False).execute(operand, b))
+
+    def test_failed_probe_requarantines(self, operand, rng):
+        dispatcher, scripted = self._dispatcher(failure_threshold=1, probe_interval=2)
+        b = rng.normal(size=(64, 12)).astype(np.float32)
+        dispatcher.execute(operand, b)  # quarantined immediately (K=1)
+        assert dispatcher.is_quarantined("scripted")
+        dispatcher.execute(operand, b)  # countdown 2 -> 1
+        dispatcher.execute(operand, b)  # countdown 1 -> 0
+        calls_before = scripted.execute_calls
+        assert calls_before == 1  # only the original failure
+        dispatcher.execute(operand, b)  # probe attempt -> fails -> requarantined
+        assert scripted.execute_calls == calls_before + 1
+        assert dispatcher.is_quarantined("scripted")
+        assert dispatcher.health_stats()["quarantines"] == 1  # one event, not two
+
+    def test_quarantine_leaves_no_stale_decisions(self, operand, rng):
+        """The decision cache must stay quarantine-independent: memoized
+        decisions keep the cost argmin while the backend sits out (failover
+        happens at execute time), so after re-admission the SAME cached
+        decision routes traffic to it again — no stale entries to flush."""
+        dispatcher, scripted = self._dispatcher(failure_threshold=1, probe_interval=1)
+        b = rng.normal(size=(64, 12)).astype(np.float32)
+        decision = dispatcher.dispatch(operand, 12)
+        cache_size = dispatcher.cache_size()
+        dispatcher.execute(operand, b)  # fail -> quarantine
+        assert dispatcher.is_quarantined("scripted")
+        # The memo still names the cost argmin and no new entries appeared.
+        assert dispatcher.dispatch(operand, 12) is decision
+        assert decision.backend == "scripted"
+        assert dispatcher.cache_size() == cache_size
+        dispatcher.execute(operand, b)  # passed over once (countdown 1 -> 0)
+        scripted.failing = False
+        dispatcher.execute(operand, b)  # probe succeeds -> readmitted
+        assert not dispatcher.is_quarantined("scripted")
+        # Same cached decision, and execution routes to the backend again.
+        assert dispatcher.dispatch(operand, 12) is decision
+        calls_before = scripted.execute_calls
+        out = dispatcher.execute(operand, b)
+        assert scripted.execute_calls == calls_before + 1
+        assert np.array_equal(out, ScriptedFailureBackend(failing=False).execute(operand, b))
+
+    def test_all_candidates_failing_raises(self, operand, rng):
+        from repro.kernels.dispatch import BackendExecutionError
+        from repro.serving.faults import FaultInjector, FaultPlan, FaultSpec
+
+        dispatcher = KernelDispatcher()
+        names = [backend.name for backend in dispatcher.backends]
+        plan = FaultPlan([FaultSpec(backend=n, kind="persistent", at_call=0) for n in names])
+        FaultInjector(plan).arm(dispatcher)
+        with pytest.raises(BackendExecutionError) as excinfo:
+            dispatcher.execute(operand, rng.normal(size=(64, 8)).astype(np.float32))
+        assert "all candidate backends failed" in str(excinfo.value)
+
+    def test_breaker_parameters_validated(self):
+        with pytest.raises(ValueError):
+            KernelDispatcher(failure_threshold=0)
+        with pytest.raises(ValueError):
+            KernelDispatcher(probe_interval=0)
+
+
+class TestNarrowedTunerException:
+    def test_plain_valueerror_from_tuner_propagates(self, operand, monkeypatch):
+        """The dispatcher's proxy re-costing must catch ONLY the typed
+        UnsupportedTilingError; a genuine model bug surfacing as a plain
+        ValueError has to propagate instead of being silently swallowed."""
+        from repro.kernels.dispatch import SpathaPlanBackend
+        from repro.kernels.spatha.tuner import SpathaTuner
+
+        def boom(self, problem):
+            raise ValueError("boom: genuine model bug")
+
+        monkeypatch.setattr(SpathaTuner, "best_result", boom)
+        backend = SpathaPlanBackend()
+        with pytest.raises(ValueError, match="genuine model bug"):
+            backend.estimate(operand, 16, rtx3090())
+
+    def test_unlaunchable_tiling_still_proxied(self, rng):
+        """The expected failure (V=8 has no template instantiation) is
+        typed as UnsupportedTilingError and still handled by costing the
+        padded proxy launch — dispatch keeps working for non-hardware V."""
+        from repro.kernels.spatha import UnsupportedTilingError
+
+        assert issubclass(UnsupportedTilingError, ValueError)
+        dense = rng.normal(size=(32, 64))
+        pruned = apply_mask(dense, vnm_mask(dense, v=8, n=2, m=8)).astype(np.float32)
+        op = SpmmOperand.from_dense(pruned, formats=("vnm",), v=8, n=2, m=8)
+        decision = KernelDispatcher().dispatch(op, 16)
+        assert "spatha-plan" in decision.costs
+        assert decision.costs["spatha-plan"] > 0

@@ -150,6 +150,40 @@ class TestShapeBucketBatcher:
         with pytest.raises(TypeError):
             ShapeBucketBatcher().submit("not a request")
 
+    def test_non_finite_payload_rejected_at_submit_by_name(self, rng):
+        """A NaN/Inf payload is refused at admission — naming the offending
+        request — instead of poisoning its batchmates at execute time."""
+        batcher = ShapeBucketBatcher()
+        bad = rng.normal(size=(4, K_FEATURES)).astype(np.float32)
+        bad[1, 3] = np.nan
+        with pytest.raises(ValueError, match="bad-0042.*non-finite"):
+            batcher.submit(Request("bad-0042", bad))
+        assert batcher.pending == 0
+
+    def test_submit_many_rejects_non_finite_atomically(self, rng):
+        """One bad payload fails the whole submit_many before ANY member is
+        queued, so a retry never trips the duplicate-id guard."""
+        batcher = ShapeBucketBatcher()
+        good_a, good_b = make_requests(rng, [4, 9], prefix="atomic")
+        bad = Request("atomic-bad", np.full((4, K_FEATURES), np.inf, dtype=np.float32))
+        with pytest.raises(ValueError, match="atomic-bad.*non-finite"):
+            batcher.submit_many([good_a, bad, good_b])
+        assert batcher.pending == 0
+        batcher.submit_many([good_a, good_b])  # clean retry succeeds
+        assert batcher.pending == 2
+
+    def test_expire_due_removes_and_returns_expired(self, rng):
+        batcher = ShapeBucketBatcher()
+        live, doomed = make_requests(rng, [4, 4], prefix="exp")
+        doomed = Request(doomed.request_id, doomed.activations, deadline_us=10.0)
+        batcher.submit(live)
+        batcher.submit(doomed)
+        assert batcher.expire_due(5.0) == []  # deadline not yet passed
+        expired = batcher.expire_due(11.0)
+        assert [r.request_id for r in expired] == [doomed.request_id]
+        assert batcher.pending == 1
+        batcher.submit(Request(doomed.request_id, doomed.activations))  # id freed
+
 
 class TestServingEngineEquivalence:
     def test_batched_equals_sequential_bitwise(self, rng, vnm_weight, bias):
