@@ -139,14 +139,30 @@ class KernelResult:
         return baseline.time_us / self.time_us
 
     def as_execution(self, category: str = "gemm") -> KernelExecution:
-        """Convert to a trace record for end-to-end latency accounting."""
+        """Convert to a trace record for end-to-end latency accounting.
+
+        The modelled scalars are memoized on the result: the serving
+        engines convert the same (dispatcher-cached) result once per
+        micro-batch, and the cost-model property chain is pure.  Each call
+        still returns a fresh record with a fresh ``meta`` dict, so
+        callers may annotate it freely.
+        """
+        scalars = getattr(self, "_exec_scalars", None)
+        if scalars is None:
+            scalars = (
+                self.time_us,
+                self.problem.effective_flops,
+                self.problem.dense_flops,
+                self.cost.gmem_cycles * self.cost.gpu.gmem_bytes_per_cycle,
+            )
+            self._exec_scalars = scalars
         return KernelExecution(
             kernel=self.kernel,
             category=category,
-            time_us=self.time_us,
-            flops=self.problem.effective_flops,
-            dense_flops=self.problem.dense_flops,
-            bytes_moved=self.cost.gmem_cycles * self.cost.gpu.gmem_bytes_per_cycle,
+            time_us=scalars[0],
+            flops=scalars[1],
+            dense_flops=scalars[2],
+            bytes_moved=scalars[3],
             meta=dict(self.details),
         )
 

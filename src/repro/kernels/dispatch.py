@@ -29,6 +29,7 @@ Design rules, enforced by the consistency tests:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -106,6 +107,9 @@ class SpmmOperand:
         self._dense16: Optional[np.ndarray] = None
         self._sparsity: Optional[float] = None
         self._content_signature: Optional[Tuple] = None
+        #: Full dispatch signature per shape bucket (every component is
+        #: operand-intrinsic and immutable, so dispatchers share the memo).
+        self._sig_cache: Dict[int, Tuple] = {}
         shapes = {
             tuple(m.shape) for m in (vnm, csr, blocked_ell, self._dense) if m is not None
         }
@@ -438,15 +442,23 @@ class DispatchDecision:
     #: C at which the costs were evaluated (the bucket's first-seen C).
     decided_at_c: int = 0
     #: Failovers taken at execute time under this decision, keyed
-    #: ``"failed->served"``.  The decision itself never changes — ``backend``
-    #: stays the cost argmin so re-admitted backends are routed to again —
-    #: this is the audit trail of which calls had to walk down the ranking.
+    #: ``"failed->served"``.  Absent measurements the decision never changes
+    #: — ``backend`` stays the cost argmin so re-admitted backends are
+    #: routed to again — this is the audit trail of which calls had to walk
+    #: down the ranking.
     failovers: Dict[str, int] = field(default_factory=dict)
+    #: Measurement-blended effective cost (us) per candidate: the measured
+    #: EWMA where this signature has observed runtimes, the modelled cost
+    #: rescaled onto the measured scale otherwise.  Empty until the
+    #: dispatcher has at least one observation for the signature; once
+    #: populated it overrides ``costs`` in :attr:`ranking` (and may re-rank
+    #: ``backend``) so decisions track reality, not just the model.
+    measured: Dict[str, float] = field(default_factory=dict)
 
     @property
     def ranking(self) -> List[Tuple[str, float]]:
-        """Candidates sorted fastest first."""
-        return sorted(self.costs.items(), key=lambda kv: kv[1])
+        """Candidates sorted fastest first (measurement-blended when fed)."""
+        return sorted((self.measured or self.costs).items(), key=lambda kv: kv[1])
 
     def record_failover(self, failed: str, served: str) -> None:
         """Count one execute-time failover from ``failed`` to ``served``."""
@@ -470,6 +482,8 @@ class KernelDispatcher:
         name: str = "",
         failure_threshold: int = 3,
         probe_interval: int = 4,
+        observe_runtimes: bool = False,
+        measurement_alpha: float = 0.25,
     ) -> None:
         self.gpu = gpu or rtx3090()
         self.backends: List[Backend] = list(backends) if backends is not None else default_backends()
@@ -484,6 +498,31 @@ class KernelDispatcher:
         #: cross-request reuse; they accumulate across ``clear_cache``.
         self.cache_hits = 0
         self.cache_misses = 0
+        #: Memoized :meth:`estimate` results, keyed by (signature, exact C,
+        #: backend, operand name) — the cost models are pure functions of
+        #: that key, and the serving engines call ``estimate`` per layer per
+        #: step, which dominated the continuous step loop before memoization.
+        self._estimates: Dict[Tuple, KernelResult] = {}
+        self.estimate_hits = 0
+        self.estimate_misses = 0
+        if not 0.0 < measurement_alpha <= 1.0:
+            raise ValueError("measurement_alpha must be in (0, 1]")
+        #: When True, :meth:`execute` wall-clock-times every successful
+        #: backend call and feeds it to :meth:`record_runtime` automatically.
+        #: Off by default: a measured re-rank changes which backend later
+        #: identical calls route to, which is exactly what you want in a
+        #: long-lived server and exactly what you do not want while
+        #: asserting batched-vs-sequential bit-equality mid-run (each call
+        #: is still bit-for-bit its backend's direct invocation either way).
+        self.observe_runtimes = observe_runtimes
+        #: EWMA smoothing factor for measured runtimes (1.0 = latest only).
+        self.measurement_alpha = measurement_alpha
+        #: Measured-runtime EWMA (us) per (signature, backend), plus sample
+        #: counts; cumulative counters surfaced in :meth:`health_stats`.
+        self._observed: Dict[Tuple, float] = {}
+        self._observed_counts: Dict[Tuple, int] = {}
+        self.observations = 0
+        self.measured_reranks = 0
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be >= 1")
         if probe_interval < 1:
@@ -515,6 +554,7 @@ class KernelDispatcher:
         else:
             self.backends.append(backend)
         self._decisions.clear()
+        self._estimates.clear()
 
     def backend(self, name: str) -> Backend:
         """Look a backend up by registry name."""
@@ -539,16 +579,23 @@ class KernelDispatcher:
         Includes :meth:`SpmmOperand.content_signature` so same-shape
         operands with different sparsity/structure never alias to one
         cached decision (distinct layers of a model may legitimately
-        dispatch to different backends).
+        dispatch to different backends).  Memoized per bucket on the
+        operand — the serving engines rebuild it several times per layer
+        per step, and every component is immutable.
         """
-        return (
-            operand.formats,
-            operand.pattern,
-            operand.r,
-            operand.k,
-            self.shape_bucket(c),
-            operand.content_signature(),
-        )
+        bucket = self.shape_bucket(c)
+        sig = operand._sig_cache.get(bucket)
+        if sig is None:
+            sig = (
+                operand.formats,
+                operand.pattern,
+                operand.r,
+                operand.k,
+                bucket,
+                operand.content_signature(),
+            )
+            operand._sig_cache[bucket] = sig
+        return sig
 
     def dispatch(self, operand: SpmmOperand, c: int) -> DispatchDecision:
         """Rank the supported backends for this problem (memoized).
@@ -576,17 +623,90 @@ class KernelDispatcher:
         best = min(costs.items(), key=lambda kv: kv[1])[0]
         decision = DispatchDecision(signature=sig, backend=best, costs=costs, decided_at_c=c)
         self._decisions[sig] = decision
+        self._apply_measurements(decision)
         return decision
 
     def estimate(self, operand: SpmmOperand, c: int, backend: Optional[str] = None) -> KernelResult:
-        """Modelled kernel result at exactly ``c`` columns.
+        """Modelled kernel result at exactly ``c`` columns (memoized).
 
         Uses the dispatched backend unless one is named.  Unlike
-        :meth:`dispatch` this is not memoized — the serving simulator calls
-        it per batch with the batch's true column count.
+        :meth:`dispatch`, which buckets ``c`` into shape regimes, this is
+        memoized at the *exact* column count — the cost models are pure
+        per (content signature, C, backend), and the serving engines ask
+        for the same handful of (layer, bucket-C) estimates on every step.
+        Callers must treat the returned :class:`KernelResult` as read-only
+        (``as_execution`` already copies ``details`` into a fresh meta).
         """
         name = backend or self.dispatch(operand, c).backend
-        return self.backend(name).estimate(operand, c, self.gpu)
+        key = (self.signature(operand, c), int(c), name, operand.name)
+        result = self._estimates.get(key)
+        if result is not None:
+            self.estimate_hits += 1
+            return result
+        self.estimate_misses += 1
+        result = self.backend(name).estimate(operand, c, self.gpu)
+        self._estimates[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Measured runtimes (the measurement-fed half of the ranking)
+    # ------------------------------------------------------------------
+    def record_runtime(self, operand: SpmmOperand, c: int, backend: str, measured_us: float) -> None:
+        """Feed one measured wall-clock runtime for ``backend`` on this problem.
+
+        Updates the per-(signature, backend) EWMA and immediately re-blends
+        the signature's cached decision (see :meth:`_apply_measurements`),
+        so the ranking tracks observed reality instead of the static cost
+        model alone.  Callers with out-of-band timings (the bench harness, a
+        serving sidecar) use this directly; set ``observe_runtimes=True`` to
+        have :meth:`execute` feed itself.
+        """
+        if not measured_us > 0:
+            raise ValueError(f"measured_us must be positive, got {measured_us}")
+        name = self.backend(backend).name  # validates the backend exists
+        self._observe(self.signature(operand, c), name, float(measured_us))
+
+    def _observe(self, sig: Tuple, name: str, measured_us: float) -> None:
+        key = (sig, name)
+        prev = self._observed.get(key)
+        alpha = self.measurement_alpha
+        self._observed[key] = (
+            measured_us if prev is None else alpha * measured_us + (1.0 - alpha) * prev
+        )
+        self._observed_counts[key] = self._observed_counts.get(key, 0) + 1
+        self.observations += 1
+        decision = self._decisions.get(sig)
+        if decision is not None:
+            self._apply_measurements(decision)
+
+    def _blend(self, sig: Tuple, costs: Dict[str, float]) -> Dict[str, float]:
+        """Effective cost per candidate: measured where observed, calibrated
+        model elsewhere.
+
+        Measured wall-clock (CPU) and modelled (simulated-GPU) times live on
+        different scales, so candidates without observations cannot compete
+        on raw modelled numbers.  The median observed/modelled ratio across
+        the observed candidates calibrates the model onto the measured
+        scale; unobserved candidates enter the ranking at
+        ``modelled * scale``.  Empty when the signature has no observations.
+        """
+        observed = {n: self._observed[(sig, n)] for n in costs if (sig, n) in self._observed}
+        if not observed:
+            return {}
+        ratios = sorted(observed[n] / costs[n] for n in observed if costs[n] > 0)
+        scale = ratios[len(ratios) // 2] if ratios else 1.0
+        return {n: observed.get(n, cost * scale) for n, cost in costs.items()}
+
+    def _apply_measurements(self, decision: DispatchDecision) -> None:
+        """Re-blend one decision's effective costs; re-rank if reality won."""
+        measured = self._blend(decision.signature, decision.costs)
+        if not measured:
+            return
+        decision.measured = measured
+        best = min(measured.items(), key=lambda kv: kv[1])[0]
+        if best != decision.backend:
+            decision.backend = best
+            self.measured_reranks += 1
 
     # ------------------------------------------------------------------
     # Backend health (circuit breaker)
@@ -618,13 +738,32 @@ class KernelDispatcher:
             self.readmission_events += 1
 
     def health_stats(self) -> Dict[str, object]:
-        """Circuit-breaker counters (separate from :meth:`cache_stats`)."""
+        """Circuit-breaker counters plus the measured-runtime summary
+        (separate from :meth:`cache_stats`).
+
+        ``observed_backends`` aggregates the per-signature EWMAs per
+        backend: ``samples`` fed, and the mean EWMA in us — enough to see
+        *which* backends real traffic exercised and how they actually
+        timed; ``measured_reranks`` counts decisions whose best backend
+        flipped because of measurements.
+        """
+        observed: Dict[str, Dict[str, float]] = {}
+        for (sig, name), ewma in self._observed.items():
+            agg = observed.setdefault(name, {"samples": 0, "_sum": 0.0, "_n": 0})
+            agg["samples"] += self._observed_counts[(sig, name)]
+            agg["_sum"] += ewma
+            agg["_n"] += 1
+        for agg in observed.values():
+            agg["mean_ewma_us"] = round(agg.pop("_sum") / agg.pop("_n"), 3)
         return {
             "failures": self.backend_failures,
             "failovers": self.failover_count,
             "quarantines": self.quarantine_events,
             "readmissions": self.readmission_events,
             "quarantined": list(self.quarantined()),
+            "observations": self.observations,
+            "measured_reranks": self.measured_reranks,
+            "observed_backends": {name: observed[name] for name in sorted(observed)},
         }
 
     # ------------------------------------------------------------------
@@ -714,7 +853,13 @@ class KernelDispatcher:
         first_failed: Optional[str] = None
         for name in self._candidate_order(decision):
             try:
-                out = self._attempt(operand, b, name, decision)
+                if self.observe_runtimes:
+                    started = time.perf_counter()
+                    out = self._attempt(operand, b, name, decision)
+                    elapsed_us = max((time.perf_counter() - started) * 1e6, 1e-3)
+                    self._observe(decision.signature, name, elapsed_us)
+                else:
+                    out = self._attempt(operand, b, name, decision)
             except BackendExecutionError as exc:
                 failed = exc.backend or name
                 self._record_failure(failed)
@@ -777,21 +922,28 @@ class KernelDispatcher:
         return len(self._decisions)
 
     def cache_stats(self) -> Dict[str, int]:
-        """Decision-cache counters: entries held plus cumulative traffic."""
+        """Decision/estimate-cache counters: entries held plus cumulative traffic."""
         return {
             "size": self.cache_size(),
             "hits": self.cache_hits,
             "misses": self.cache_misses,
+            "estimate_size": len(self._estimates),
+            "estimate_hits": self.estimate_hits,
+            "estimate_misses": self.estimate_misses,
         }
 
     def clear_cache(self) -> None:
-        """Drop all memoized decisions (backends keep their tuner caches).
+        """Drop all memoized decisions and estimates (backends keep their
+        tuner caches; measured-runtime EWMAs survive too — they describe
+        reality, and re-ranking a re-decided signature should still see
+        them).
 
         The hit/miss counters are cumulative traffic statistics and survive
         the clear (the next ``dispatch`` of a dropped signature counts as a
         miss again).
         """
         self._decisions.clear()
+        self._estimates.clear()
 
 
 _DEFAULT_DISPATCHER: Optional[KernelDispatcher] = None

@@ -38,7 +38,7 @@ CPU analogue of that preparation step:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -94,6 +94,10 @@ class SpmmPlan:
         self.gather_indices = matrix.selected_column_indices()  # (R/V, K/M*4)
         self.metadata = matrix.packed_metadata()
         self._dense16: Optional[np.ndarray] = None
+        # The auto strategy depends only on C, and serving re-executes one
+        # plan hundreds of times per window at a handful of distinct C
+        # values — memoize the cost-model verdict per column count.
+        self._strategy_cache: Dict[int, str] = {}
 
     # ------------------------------------------------------------------
     # Cached plan lookup
@@ -168,14 +172,21 @@ class SpmmPlan:
                 f"B must have shape ({a.k}, C) or (batch, {a.k}, C), got {b.shape}"
             )
         b16 = np.asarray(b, dtype=np.float16).astype(np.float32)
-        strategy = self.resolve_strategy(b.shape[-1])
-        if strategy == "dense" and not np.isfinite(b16).all():
+        c = b.shape[-1]
+        strategy = self._strategy_cache.get(c)
+        if strategy is None:
+            strategy = self.resolve_strategy(c)
+            self._strategy_cache[c] = strategy
+        if strategy == "dense" and not np.isfinite(np.sum(b16, dtype=np.float64)):
             # The dense schedule multiplies the zero entries of the
             # densified operand against *every* B row, so a non-finite
             # value in a row no block selects would leak NaN (0 * inf)
             # into the output.  The gather schedule only ever touches the
             # selected rows — exactly like the loop reference — so it is
-            # the correct formulation for non-finite inputs.
+            # the correct formulation for non-finite inputs.  The screen
+            # is a float64 sum: every finite fp16-representable value is
+            # <= 65504, so the sum can only be non-finite when an element
+            # is (NaN/Inf propagate), and it needs no bool temporary.
             strategy = "gather"
         if strategy == "dense":
             # matmul broadcasts (R, K) @ (B, K, C) into one GEMM per slab,

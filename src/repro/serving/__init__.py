@@ -48,7 +48,12 @@ from .batcher import (
     Request,
     ShapeBucketBatcher,
 )
-from .continuous import CompletionRecord, ContinuousBatcher, plan_continuous_batch
+from .continuous import (
+    CompletionRecord,
+    ContinuousBatcher,
+    plan_continuous_batch,
+    plan_continuous_batch_reference,
+)
 from .engine import ServingEngine
 from .faults import (
     OUTCOME_FAILED,
@@ -105,6 +110,7 @@ __all__ = [
     "outcome_counts",
     "plan_async_closings",
     "plan_continuous_batch",
+    "plan_continuous_batch_reference",
     "poisson_arrivals",
     "simulate_chaos",
     "simulate_serving",

@@ -136,21 +136,35 @@ class MicroBatch:
         """Total true token count (``sum(valid_lengths)``)."""
         return sum(req.tokens for req in self.requests)
 
-    def stacked_rhs(self) -> np.ndarray:
+    def stacked_rhs(self, out: Optional[np.ndarray] = None) -> np.ndarray:
         """The batched RHS: ``(B, features, token_bucket)``.
 
         Each request's activations are transposed to ``(K, C)`` and padded
         with zero columns up to the bucket boundary.  Zero columns produce
         zero output columns that :meth:`split_output` trims away; they never
         touch the real columns (GEMM columns are independent).
+
+        ``out``, when given, must be a float32 buffer of exactly that shape;
+        it is *fully* overwritten (valid columns, then explicit zero
+        padding), so a pooled buffer yields values identical to a fresh
+        allocation.
         """
         key = self.key
-        rhs = np.zeros((self.batch_size, key.features, key.token_bucket), dtype=np.float32)
+        shape = (self.batch_size, key.features, key.token_bucket)
+        if out is None:
+            rhs = np.zeros(shape, dtype=np.float32)
+            for i, req in enumerate(self.requests):
+                rhs[i, :, : req.tokens] = req.activations.T
+            return rhs
+        if out.shape != shape or out.dtype != np.float32:
+            raise ValueError(f"out must be float32 {shape}, got {out.dtype} {out.shape}")
         for i, req in enumerate(self.requests):
-            rhs[i, :, : req.tokens] = req.activations.T
-        return rhs
+            t = req.tokens
+            out[i, :, :t] = req.activations.T
+            out[i, :, t:] = 0.0
+        return out
 
-    def stacked_activations(self) -> np.ndarray:
+    def stacked_activations(self, out: Optional[np.ndarray] = None) -> np.ndarray:
         """The batched layer-facing activations: ``(B, token_bucket, features)``.
 
         The model-serving layout (sequences stay un-transposed): each
@@ -160,11 +174,24 @@ class MicroBatch:
         (``"ladder"``) mode the engine pairs this tensor with the
         :attr:`valid_lengths` attention mask, because bare zero rows would
         *not* be numerics-neutral through attention's softmax.
+
+        ``out``, when given, must be a float32 buffer of exactly that shape;
+        it is fully overwritten (valid rows, then explicit zero padding), so
+        a pooled buffer yields values identical to a fresh allocation.
         """
         key = self.key
-        out = np.zeros((self.batch_size, key.token_bucket, key.features), dtype=np.float32)
+        shape = (self.batch_size, key.token_bucket, key.features)
+        if out is None:
+            out = np.zeros(shape, dtype=np.float32)
+            for i, req in enumerate(self.requests):
+                out[i, : req.tokens] = req.activations
+            return out
+        if out.shape != shape or out.dtype != np.float32:
+            raise ValueError(f"out must be float32 {shape}, got {out.dtype} {out.shape}")
         for i, req in enumerate(self.requests):
-            out[i, : req.tokens] = req.activations
+            t = req.tokens
+            out[i, :t] = req.activations
+            out[i, t:] = 0.0
         return out
 
     def split_hidden(self, out: np.ndarray) -> Dict[str, np.ndarray]:
@@ -284,23 +311,28 @@ class ShapeBucketBatcher:
     # ------------------------------------------------------------------
     # Queue
     # ------------------------------------------------------------------
-    def submit(self, request: Request) -> BucketKey:
-        """Enqueue one request; returns the bucket it will batch into."""
+    def submit(self, request: Request) -> Optional[BucketKey]:
+        """Enqueue one request; returns the bucket it will batch into.
+
+        Validation (type, duplicate id, finiteness — the expensive scan)
+        happens exactly once, here; admission itself goes through
+        :meth:`_admit` so subclasses can add queue policy (bounded queues,
+        shedding) without re-scanning the payload.
+        """
         if not isinstance(request, Request):
             raise TypeError("submit expects a Request")
         if request.request_id in self._seen_ids:
             raise ValueError(f"duplicate request_id {request.request_id!r} in this window")
         _reject_non_finite(request)
-        self._seen_ids.add(request.request_id)
-        self._pending.append(request)
-        return self.bucket_key(request)
+        return self._admit(request)
 
     def submit_many(self, requests) -> None:
         """Enqueue several requests atomically.
 
-        Validates the whole batch (types, duplicate ids — among themselves
-        and against the queue) before enqueueing anything, so a rejected
-        request never leaves earlier ones stranded in the queue.
+        Validates the whole batch (types, finiteness, duplicate ids — among
+        themselves and against the queue) before enqueueing anything, so a
+        rejected request never leaves earlier ones stranded in the queue.
+        Each payload is scanned for non-finite values exactly once.
         """
         batch = list(requests)
         for request in batch:
@@ -314,8 +346,20 @@ class ShapeBucketBatcher:
         if clashes:
             raise ValueError(f"duplicate request_ids in this window: {sorted(clashes)}")
         for request in batch:
-            self._seen_ids.add(request.request_id)
-            self._pending.append(request)
+            self._admit(request)
+
+    def _admit(self, request: Request) -> Optional[BucketKey]:
+        """Admit an already-validated request into the queue.
+
+        The single admission choke point: ``submit`` and ``submit_many``
+        validate, then hand over here.  Subclasses override this (not the
+        submit methods) to layer queue policy on top — the continuous
+        batcher's bounded-queue shedding returns ``None`` for a request it
+        refuses.
+        """
+        self._seen_ids.add(request.request_id)
+        self._pending.append(request)
+        return self.bucket_key(request)
 
     @property
     def pending(self) -> int:

@@ -11,14 +11,25 @@ encoder workloads where one request is one forward pass):
   steps** — a request that arrived while the previous step was executing
   joins a compatible open bucket immediately, even though its new
   batchmates have been queued since earlier steps;
-* each step re-buckets everything currently arrived (the deterministic
-  ladder/exact grouping of :class:`~repro.serving.batcher.ShapeBucketBatcher`)
-  and executes **one** batched (masked) forward: the single most urgent
-  bucket chunk, oldest first (FCFS across rungs);
+* each step executes **one** batched (masked) forward: the single most
+  urgent bucket chunk among everything arrived, oldest first (FCFS across
+  rungs), under the deterministic ladder/exact grouping of
+  :class:`~repro.serving.batcher.ShapeBucketBatcher`;
 * completed sequences leave at the end of their step without blocking the
   rung — requests of the same rung that did not fit the chunk stay queued
   and are eligible again at the very next step, merged with whatever
   arrived meanwhile.
+
+The scheduler state is *incremental*: per-bucket queues are kept sorted at
+admission (insort by ``(arrival_us, request_id)``), urgency across rungs is
+a lazily-pruned min-heap fed at admission, and taking a chunk is an O(chunk)
+prefix removal.  A step therefore costs proportional to what it schedules,
+not to what is queued — the earlier implementation re-bucketed and re-sorted
+the whole pending list every step, which is what
+:func:`plan_continuous_batch` (kept as the executable reference policy)
+still spells out; the equivalence property test in
+``tests/serving/test_continuous.py`` pins the two to the same chunk
+sequence across randomized schedules, cadences and shed policies.
 
 Scheduling is the *only* thing that changes.  Execution still runs through
 the engines' ``_execute_batch`` (exact-length stacking, or the padded
@@ -33,7 +44,9 @@ per-request :class:`CompletionRecord` metadata.
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right, insort
 from dataclasses import dataclass
+from heapq import heappop, heappush
 from typing import Dict, List, Optional, Tuple
 
 from .batcher import (
@@ -42,7 +55,6 @@ from .batcher import (
     MicroBatch,
     Request,
     ShapeBucketBatcher,
-    _reject_non_finite,
 )
 
 #: Admission-control shedding policies.
@@ -88,10 +100,12 @@ def plan_continuous_batch(
 ) -> Optional[Tuple[object, List]]:
     """Pick the single most urgent bucket chunk from ``items`` (FCFS).
 
-    The continuous scheduling policy, shared by the live
-    :class:`ContinuousBatcher` and the analytic replay in
-    :func:`~repro.serving.simulate.simulate_serving` (the same sharing
-    pattern as ``plan_batches`` / ``plan_async_closings``):
+    The continuous scheduling policy as an executable specification — the
+    *reference* sibling of the incremental :class:`ContinuousBatcher`
+    (which must emit the identical chunk sequence; property-tested), and
+    the planner the analytic replay in
+    :func:`~repro.serving.simulate.simulate_serving` calls directly (the
+    same sharing pattern as ``plan_batches`` / ``plan_async_closings``):
 
     1. group items by ``key_of(item)`` (the bucket identity);
     2. order each bucket by ``(arrival_of(item), id_of(item))`` — oldest
@@ -119,17 +133,37 @@ def plan_continuous_batch(
     return best[1], best[2]
 
 
+#: Explicit alias for the reference policy (the incremental batcher's
+#: equivalence partner in the property tests).
+plan_continuous_batch_reference = plan_continuous_batch
+
+
+def _arrival_rank(request: Request) -> Tuple[float, str]:
+    """In-bucket scheduling order: oldest arrival first, ties by id."""
+    return (request.arrival_us, request.request_id)
+
+
 class ContinuousBatcher(ShapeBucketBatcher):
     """Shape-bucketing batcher scheduled per engine step, not per window.
 
-    Requests queue exactly as on the parent (``submit`` / ``submit_many``),
-    but instead of draining whole windows the engine asks for **one**
-    micro-batch per step (:meth:`next_batch`): the most urgent chunk among
-    the requests that have *arrived* by ``now_us``.  Everything else stays
-    queued with its id reserved — including same-rung requests beyond
-    ``max_batch_size``, which become the oldest members of the rung's next
-    chunk, merged with any later arrivals (the "join an open bucket
-    mid-flight" behaviour continuous batching exists for).
+    Requests queue exactly as on the parent (``submit`` / ``submit_many``,
+    which validate once and admit through :meth:`_admit`), but instead of
+    draining whole windows the engine asks for **one** micro-batch per step
+    (:meth:`next_batch`): the most urgent chunk among the requests that
+    have *arrived* by ``now_us``.  Everything else stays queued with its id
+    reserved — including same-rung requests beyond ``max_batch_size``,
+    which become the oldest members of the rung's next chunk, merged with
+    any later arrivals (the "join an open bucket mid-flight" behaviour
+    continuous batching exists for).
+
+    Scheduling state is incremental so the per-step cost tracks the chunk,
+    not the queue: each bucket's queue is kept sorted by
+    ``(arrival_us, request_id)`` at admission, cross-rung urgency is a
+    lazily-pruned min-heap of arrival times fed at admission, deadlines
+    live in a second lazy heap (so :meth:`expire_due` is a no-op when
+    nothing carries a deadline), and taking a chunk is an O(chunk) prefix
+    removal.  The emitted chunk sequence is identical to the
+    :func:`plan_continuous_batch` reference, property-tested.
 
     Construct with :meth:`ShapeBucketBatcher.ladder` for padded-rung
     serving (``ContinuousBatcher.ladder()``, the common case) or
@@ -147,8 +181,10 @@ class ContinuousBatcher(ShapeBucketBatcher):
     refuses the incoming request outright; ``"drop-expired"`` first evicts
     queued requests whose deadline has already passed at the incoming
     request's arrival time (they were doomed anyway) and only sheds the
-    newcomer if the queue is still full.  Shed and evicted requests land
-    in :meth:`take_shed` / :meth:`take_expired` so drivers can report
+    newcomer if the queue is still full.  A shed request is still validated
+    (type, finiteness, id clash) — shedding can never mask a malformed
+    submission; it just never enters the queue.  Shed and evicted requests
+    land in :meth:`take_shed` / :meth:`take_expired` so drivers can report
     their outcomes; the cumulative brownout counters are on
     :meth:`admission_stats`.
     """
@@ -174,55 +210,85 @@ class ContinuousBatcher(ShapeBucketBatcher):
         #: Cumulative brownout counters (never reset by take_*).
         self.total_shed = 0
         self.total_expired = 0
+        # Incremental scheduler state.  The parent's flat ``_pending`` list
+        # stays empty — these structures replace it (``_seen_ids`` is still
+        # maintained for the parent's duplicate-id validation):
+        #: per-bucket queues, each sorted by (arrival_us, request_id).
+        self._buckets: Dict[BucketKey, List[Request]] = {}
+        #: live queued requests by id (also the queue-depth source of truth).
+        self._by_id: Dict[str, Request] = {}
+        #: admission sequence number per live id — heap entries carry the
+        #: seq they were pushed with, so entries for departed (or re-used)
+        #: ids are recognised as stale and pruned lazily.
+        self._live_seq: Dict[str, int] = {}
+        self._admit_seq = 0
+        #: cross-rung urgency: min-heap of (arrival_us, request_id, seq, key).
+        self._arrival_heap: List[Tuple[float, str, int, BucketKey]] = []
+        #: expiry: min-heap of (deadline_us, request_id, seq); only fed by
+        #: requests that actually carry a deadline.
+        self._deadline_heap: List[Tuple[float, str, int]] = []
 
     # ------------------------------------------------------------------
-    # Admission control
+    # Admission (validation happened in submit/submit_many)
     # ------------------------------------------------------------------
-    def submit(self, request: Request) -> Optional[BucketKey]:
-        """Enqueue one request, or shed it under overload (returns ``None``).
+    def _admit(self, request: Request) -> Optional[BucketKey]:
+        """Admit or shed one validated request (``None`` when shed)."""
+        if self.max_queue_depth is not None and self.pending >= self.max_queue_depth:
+            if self.shed_policy == SHED_DROP_EXPIRED:
+                expired = self.expire_due(request.arrival_us)
+                self.expired_log.extend(expired)
+                self.total_expired += len(expired)
+            if self.pending >= self.max_queue_depth:
+                self.shed_log.append(request)
+                self.total_shed += 1
+                return None
+        return self._enqueue(request)
 
-        A shed request is still validated (type, finiteness, id clash) so
-        shedding can never mask a malformed submission; it just never
-        enters the queue, and is recorded for outcome reporting.
-        """
-        if self.max_queue_depth is None or self.pending < self.max_queue_depth:
-            return super().submit(request)
-        if not isinstance(request, Request):
-            raise TypeError("submit expects a Request")
-        if request.request_id in self._seen_ids:
-            raise ValueError(f"duplicate request_id {request.request_id!r} in this window")
-        _reject_non_finite(request)
-        if self.shed_policy == SHED_DROP_EXPIRED:
-            expired = self.expire_due(request.arrival_us)
-            self.expired_log.extend(expired)
-            self.total_expired += len(expired)
-            if self.pending < self.max_queue_depth:
-                return super().submit(request)
-        self.shed_log.append(request)
-        self.total_shed += 1
+    def _enqueue(self, request: Request) -> BucketKey:
+        key = self.bucket_key(request)
+        insort(self._buckets.setdefault(key, []), request, key=_arrival_rank)
+        self._admit_seq += 1
+        seq = self._admit_seq
+        rid = request.request_id
+        self._seen_ids.add(rid)
+        self._by_id[rid] = request
+        self._live_seq[rid] = seq
+        heappush(self._arrival_heap, (request.arrival_us, rid, seq, key))
+        if request.deadline_us is not None:
+            heappush(self._deadline_heap, (request.deadline_us, rid, seq))
+        return key
+
+    def _forget(self, request: Request) -> None:
+        """Drop a departed request's liveness: its heap entries turn stale
+        (pruned lazily on the next top access) and its id becomes reusable."""
+        rid = request.request_id
+        del self._by_id[rid]
+        del self._live_seq[rid]
+        self._seen_ids.discard(rid)
+
+    def _evict(self, request: Request) -> None:
+        """Remove one queued request from the middle of its bucket (binary
+        search on the sort key; ids are unique, so the found slot is the
+        request itself).  Only expiry needs this — scheduling always takes
+        prefixes."""
+        key = self.bucket_key(request)
+        bucket = self._buckets[key]
+        del bucket[bisect_left(bucket, _arrival_rank(request), key=_arrival_rank)]
+        if not bucket:
+            del self._buckets[key]
+        self._forget(request)
+
+    def _live_arrival_top(self) -> Optional[Tuple[float, str, int, BucketKey]]:
+        """The heap's oldest *live* entry — the globally most urgent queued
+        request (and, the bucket queues being sorted on the same rank, the
+        head of its bucket).  Stale entries are pruned on the way."""
+        heap = self._arrival_heap
+        while heap:
+            entry = heap[0]
+            if self._live_seq.get(entry[1]) == entry[2]:
+                return entry
+            heappop(heap)
         return None
-
-    def submit_many(self, requests) -> None:
-        """Enqueue several requests, shedding under overload per :meth:`submit`.
-
-        Validation stays atomic (types, finiteness, duplicate ids — among
-        themselves and against the queue — checked before anything is
-        queued); admission is then applied per request in order, so under
-        overload the earliest submissions win the queue slots.
-        """
-        batch = list(requests)
-        for request in batch:
-            if not isinstance(request, Request):
-                raise TypeError("submit_many expects Request instances")
-            _reject_non_finite(request)
-        ids = [r.request_id for r in batch]
-        if len(set(ids)) != len(ids):
-            raise ValueError("duplicate request_ids within the submitted batch")
-        clashes = self._seen_ids.intersection(ids)
-        if clashes:
-            raise ValueError(f"duplicate request_ids in this window: {sorted(clashes)}")
-        for request in batch:
-            self.submit(request)
 
     def take_shed(self) -> List[Request]:
         """Drain the shed log (requests refused admission since last call)."""
@@ -246,40 +312,110 @@ class ContinuousBatcher(ShapeBucketBatcher):
             "pending": self.pending,
         }
 
-    def arrived(self, now_us: float) -> List[Request]:
-        """The queued requests whose ``arrival_us`` has passed at ``now_us``."""
-        return [r for r in self._pending if r.arrival_us <= now_us]
+    # ------------------------------------------------------------------
+    # Queue views
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Number of queued requests."""
+        return len(self._by_id)
 
+    def arrived(self, now_us: float) -> List[Request]:
+        """The queued requests whose ``arrival_us`` has passed at ``now_us``
+        (inclusive: a request arriving exactly at ``now_us`` is eligible).
+
+        Arrived members form a prefix of each sorted bucket, so this costs
+        O(buckets log + arrived), not a scan of everything queued.  Returned
+        in deterministic (bucket key, then (arrival, id)) order.
+        """
+        out: List[Request] = []
+        for key in sorted(self._buckets, key=lambda k: (k.features, k.token_bucket)):
+            bucket = self._buckets[key]
+            out.extend(bucket[: bisect_right(bucket, now_us, key=lambda r: r.arrival_us)])
+        return out
+
+    def expire_due(self, now_us: float) -> List[Request]:
+        """Remove and return queued requests whose deadline passed at ``now_us``.
+
+        Same contract as the parent (``request_id`` order, evicted ids
+        become reusable, expiry is strict ``deadline_us < now_us``), driven
+        off the lazy deadline heap: when nothing queued carries a deadline
+        — the common case — this is a constant-time no-op instead of a full
+        queue scan per step.
+        """
+        heap = self._deadline_heap
+        expired: List[Request] = []
+        while heap:
+            deadline, rid, seq = heap[0]
+            if self._live_seq.get(rid) != seq:
+                heappop(heap)
+                continue
+            if deadline >= now_us:
+                break
+            heappop(heap)
+            request = self._by_id[rid]
+            self._evict(request)
+            expired.append(request)
+        return sorted(expired, key=lambda r: r.request_id)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
     def next_batch(self, now_us: float) -> Optional[MicroBatch]:
         """Pop the single most urgent micro-batch at ``now_us`` (or ``None``).
 
-        Deterministic FCFS across buckets (see :func:`plan_continuous_batch`);
-        the chunk's requests leave the queue (their ids become reusable),
+        The :func:`plan_continuous_batch` policy, computed incrementally:
+        the arrival heap's live top is the oldest arrived request overall —
+        and therefore the head of its (sorted) bucket, whose arrived prefix,
+        capped at ``max_batch_size``, is exactly the reference chunk.  The
+        chunk's requests leave the queue (their ids become reusable);
         everything else — later same-rung members included — stays queued
-        for the next step.
+        for the next step.  O(chunk) plus amortized heap maintenance.
         """
-        planned = plan_continuous_batch(
-            self.arrived(now_us),
-            self.bucket_key,
-            lambda r: r.arrival_us,
-            lambda r: r.request_id,
-            self.max_batch_size,
-        )
-        if planned is None:
+        top = self._live_arrival_top()
+        if top is None or top[0] > now_us:
             return None
-        key, chunk = planned
-        taken_ids = {r.request_id for r in chunk}
-        self._pending = [r for r in self._pending if r.request_id not in taken_ids]
-        self._seen_ids -= taken_ids
+        key = top[3]
+        bucket = self._buckets[key]
+        limit = min(self.max_batch_size, len(bucket))
+        cut = 0
+        while cut < limit and bucket[cut].arrival_us <= now_us:
+            cut += 1
+        chunk = bucket[:cut]
+        del bucket[:cut]
+        if not bucket:
+            del self._buckets[key]
+        for request in chunk:
+            self._forget(request)
         return MicroBatch(key=key, requests=chunk)
 
     def next_event_us(self) -> Optional[float]:
         """The earliest instant any queued request becomes schedulable.
 
         ``None`` when the queue is empty; otherwise the minimum pending
-        ``arrival_us``.  Drivers advance their clock here when a step finds
-        nothing arrived yet.
+        ``arrival_us`` (the arrival heap's live top).  Drivers advance
+        their clock here when a step finds nothing arrived yet.
         """
-        if not self._pending:
-            return None
-        return min(r.arrival_us for r in self._pending)
+        top = self._live_arrival_top()
+        return None if top is None else top[0]
+
+    def drain(self) -> List[MicroBatch]:
+        """Group everything queued into micro-batches and clear the queue.
+
+        The parent's deterministic window-drain plan (bucket-key order, ids
+        within a bucket), over the incremental state; all scheduler state is
+        reset, ids become reusable.
+        """
+        items = list(self._by_id.values())
+        self._buckets.clear()
+        self._by_id.clear()
+        self._live_seq.clear()
+        self._arrival_heap.clear()
+        self._deadline_heap.clear()
+        self._seen_ids = set()
+        return [
+            MicroBatch(key=key, requests=members)
+            for key, members in self.plan_batches(
+                items, self.bucket_key, lambda r: r.request_id
+            )
+        ]

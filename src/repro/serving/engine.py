@@ -47,6 +47,36 @@ from ..kernels.dispatch import (
 )
 
 
+class StackBufferPool:
+    """Reusable float32 stacking buffers, keyed by exact shape.
+
+    The engines stack every micro-batch into a fresh zeroed tensor; under
+    continuous serving that is one or two allocations per step for the same
+    handful of (batch, bucket) shapes.  The pool hands back the same buffer
+    for the same shape instead.  Numerics-free by construction: the
+    ``MicroBatch`` stackers *fully* overwrite a provided buffer (valid
+    cells, then explicit zero padding), so pooled and fresh buffers hold
+    identical values, and no kernel backend retains a reference to its RHS
+    (they all convert or copy), so reuse across steps cannot alias.
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._buffers: Dict[tuple, np.ndarray] = {}
+
+    def take(self, shape: tuple) -> np.ndarray:
+        """A float32 buffer of ``shape`` (contents arbitrary — overwrite it)."""
+        buf = self._buffers.get(shape)
+        if buf is None:
+            if len(self._buffers) >= self.capacity:
+                self._buffers.clear()
+            buf = np.empty(shape, dtype=np.float32)
+            self._buffers[shape] = buf
+        return buf
+
+
 class OutcomeTrackingMixin:
     """Fault-tolerant batch execution and per-request outcome bookkeeping.
 
@@ -383,6 +413,7 @@ class ServingEngine(OutcomeTrackingMixin, AsyncDriverMixin, ContinuousDriverMixi
         self.completions: Dict[str, CompletionRecord] = {}
         #: Per-request terminal states (ok / failed / timed_out / shed).
         self.outcomes: Dict[str, RequestOutcome] = {}
+        self._stack_buffers = StackBufferPool()
         if warm:
             self.dispatcher.warm(self.operand, cs=warm_buckets)
 
@@ -435,7 +466,11 @@ class ServingEngine(OutcomeTrackingMixin, AsyncDriverMixin, ContinuousDriverMixi
                 f"match the served layer's input width (operand K = {self.operand.k}); "
                 f"submit requests with activations of shape (tokens, {self.operand.k})"
             )
-        rhs = batch.stacked_rhs()  # (B, K, C_bucket)
+        rhs = batch.stacked_rhs(  # (B, K, C_bucket), pooled across steps
+            out=self._stack_buffers.take(
+                (batch.batch_size, batch.key.features, batch.key.token_bucket)
+            )
+        )
         out = self.dispatcher.execute(self.operand, rhs, bias=self.bias)
         decision = self.dispatcher.dispatch(self.operand, batch.key.token_bucket)
         modelled = self.dispatcher.estimate(

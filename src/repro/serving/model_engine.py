@@ -61,7 +61,12 @@ import numpy as np
 
 from .batcher import MicroBatch, Request, ShapeBucketBatcher
 from .continuous import CompletionRecord
-from .engine import AsyncDriverMixin, ContinuousDriverMixin, OutcomeTrackingMixin
+from .engine import (
+    AsyncDriverMixin,
+    ContinuousDriverMixin,
+    OutcomeTrackingMixin,
+    StackBufferPool,
+)
 from .faults import RequestOutcome
 from ..hardware.trace import ExecutionTrace
 from ..kernels.dispatch import KernelDispatcher
@@ -163,6 +168,12 @@ class ModelServingEngine(OutcomeTrackingMixin, AsyncDriverMixin, ContinuousDrive
         self.plans: Dict[str, SpmmPlan] = {}
         self.plan_hits = 0
         self.plan_misses = 0
+        #: Step-loop amortization: pooled stacking buffers and memoized
+        #: padding masks — both numerics-free (buffers are fully
+        #: overwritten per batch; masks are pure functions of
+        #: (rung, valid_lengths) and read-only downstream).
+        self._stack_buffers = StackBufferPool()
+        self._mask_cache: Dict[Tuple[int, Tuple[int, ...]], np.ndarray] = {}
         if warm:
             self.warm(warm_buckets)
 
@@ -257,6 +268,24 @@ class ModelServingEngine(OutcomeTrackingMixin, AsyncDriverMixin, ContinuousDrive
             )
             self.trace.record(execution)
 
+    def _padding_mask_for(self, batch: MicroBatch) -> np.ndarray:
+        """The batch's additive attention mask, memoized per
+        ``(rung, valid_lengths)``.
+
+        Continuous traffic repeats a small set of length signatures step
+        after step; the mask is a pure function of the signature and is
+        only ever *read* downstream (attention adds it into fresh score
+        tensors), so sharing one array across batches is numerics-free.
+        """
+        key = (batch.key.token_bucket, batch.valid_lengths)
+        mask = self._mask_cache.get(key)
+        if mask is None:
+            if len(self._mask_cache) >= 512:
+                self._mask_cache.clear()
+            mask = padding_mask(batch.valid_lengths, batch.key.token_bucket)
+            self._mask_cache[key] = mask
+        return mask
+
     def _execute_batch(self, batch: MicroBatch) -> Dict[str, np.ndarray]:
         if batch.key.features != self.hidden_size:
             raise ValueError(
@@ -289,14 +318,18 @@ class ModelServingEngine(OutcomeTrackingMixin, AsyncDriverMixin, ContinuousDrive
                     f"owns the encoder, or build a fresh engine"
                 )
             self._plan_for(qualified_name, lin)  # cross-request plan reuse
-        hidden = batch.stacked_activations()  # (B, bucket, hidden)
+        hidden = batch.stacked_activations(  # (B, bucket, hidden), pooled
+            out=self._stack_buffers.take(
+                (batch.batch_size, batch.key.token_bucket, batch.key.features)
+            )
+        )
         if padded:
             # Ladder mode with real padding: run the one batched forward
             # behind the right-padding attention mask — padded keys get
             # exactly zero attention weight and the masked encoder executes
             # every sequence at its true length, so the valid rows sliced
             # out below are bit-for-bit the standalone forward.
-            mask = padding_mask(batch.valid_lengths, batch.key.token_bucket)
+            mask = self._padding_mask_for(batch)
             out = self.encoder.forward(hidden, attention_mask=mask)
         else:
             out = self.encoder.forward(hidden)  # (B, seq, hidden), slab-exact

@@ -169,18 +169,41 @@ class TestDispatchDecisions:
 
     def test_cache_hit_miss_counters(self, operand):
         dispatcher = KernelDispatcher()
-        assert dispatcher.cache_stats() == {"size": 0, "hits": 0, "misses": 0}
+        empty = {"size": 0, "hits": 0, "misses": 0}
+        assert dispatcher.cache_stats() == {
+            **empty,
+            "estimate_size": 0,
+            "estimate_hits": 0,
+            "estimate_misses": 0,
+        }
         dispatcher.dispatch(operand, 20)  # miss (bucket 32)
         dispatcher.dispatch(operand, 24)  # hit (same bucket)
         dispatcher.dispatch(operand, 40)  # miss (bucket 64)
-        assert dispatcher.cache_stats() == {"size": 2, "hits": 1, "misses": 2}
+        stats = dispatcher.cache_stats()
+        assert (stats["size"], stats["hits"], stats["misses"]) == (2, 1, 2)
         # Counters are cumulative traffic: clear_cache drops entries only,
         # and re-ranking a dropped signature counts as a fresh miss.
         dispatcher.clear_cache()
         stats = dispatcher.cache_stats()
         assert stats["size"] == 0 and stats["hits"] == 1 and stats["misses"] == 2
         dispatcher.dispatch(operand, 20)
-        assert dispatcher.cache_stats() == {"size": 1, "hits": 1, "misses": 3}
+        stats = dispatcher.cache_stats()
+        assert (stats["size"], stats["hits"], stats["misses"]) == (1, 1, 3)
+
+    def test_estimate_is_memoized_per_exact_c(self, operand):
+        dispatcher = KernelDispatcher()
+        first = dispatcher.estimate(operand, 24)
+        again = dispatcher.estimate(operand, 24)
+        assert again is first  # shared, read-only by contract
+        other_c = dispatcher.estimate(operand, 20)  # same bucket, different C
+        assert other_c is not first
+        stats = dispatcher.cache_stats()
+        assert stats["estimate_hits"] == 1 and stats["estimate_misses"] == 2
+        # The memo clears with the decision cache; counters survive.
+        dispatcher.clear_cache()
+        assert dispatcher.cache_stats()["estimate_size"] == 0
+        dispatcher.estimate(operand, 24)
+        assert dispatcher.cache_stats()["estimate_misses"] == 3
 
     def test_warm_many_covers_all_operands_and_buckets(self, pruned, rng):
         other_dense = (rng.normal(size=(16, 64)) * (rng.random(size=(16, 64)) < 0.3)).astype(
@@ -231,6 +254,82 @@ class TestDispatchDecisions:
         dispatcher = KernelDispatcher()
         dispatcher.register(FreeLunch())
         assert dispatcher.dispatch(operand, 24).backend == "free-lunch"
+
+
+class TestMeasuredDispatch:
+    """The measurement-fed half of the ranking: record_runtime/EWMA/reranks."""
+
+    def test_injected_measurements_rerank_the_decision(self, operand):
+        dispatcher = KernelDispatcher()
+        decision = dispatcher.dispatch(operand, 24)
+        modelled_best = decision.backend
+        loser = next(n for n in sorted(decision.costs) if n != modelled_best)
+        assert decision.measured == {}
+
+        # Reality disagrees with the model: the modelled winner is slow,
+        # the modelled loser fast.  The cached decision must flip.
+        dispatcher.record_runtime(operand, 24, modelled_best, 5000.0)
+        dispatcher.record_runtime(operand, 24, loser, 1.0)
+
+        assert decision.backend == loser
+        assert decision.ranking[0][0] == loser
+        assert dispatcher.measured_reranks >= 1
+        # Later dispatches reuse the reranked cached decision.
+        assert dispatcher.dispatch(operand, 24).backend == loser
+
+    def test_blend_scales_unobserved_candidates_onto_measured_scale(self, operand):
+        dispatcher = KernelDispatcher()
+        decision = dispatcher.dispatch(operand, 24)
+        name = decision.backend
+        dispatcher.record_runtime(operand, 24, name, 100.0)
+        # Every candidate gets an effective cost; the observed one is the
+        # EWMA itself, the others are modelled * (observed/modelled) scale.
+        assert set(decision.measured) == set(decision.costs)
+        assert decision.measured[name] == pytest.approx(100.0)
+        scale = 100.0 / decision.costs[name]
+        for other, cost in decision.costs.items():
+            if other != name:
+                assert decision.measured[other] == pytest.approx(cost * scale)
+
+    def test_ewma_smoothing_and_health_stats(self, operand):
+        dispatcher = KernelDispatcher()  # default alpha 0.25
+        decision = dispatcher.dispatch(operand, 24)
+        name = decision.backend
+        dispatcher.record_runtime(operand, 24, name, 100.0)
+        dispatcher.record_runtime(operand, 24, name, 200.0)
+        stats = dispatcher.health_stats()
+        assert stats["observations"] == 2
+        assert stats["observed_backends"][name]["samples"] == 2
+        # EWMA: 0.25 * 200 + 0.75 * 100
+        assert stats["observed_backends"][name]["mean_ewma_us"] == pytest.approx(125.0)
+
+    def test_record_runtime_validates_inputs(self, operand):
+        dispatcher = KernelDispatcher()
+        with pytest.raises(ValueError):
+            dispatcher.record_runtime(operand, 24, "spatha-plan", 0.0)
+        with pytest.raises(ValueError):
+            dispatcher.record_runtime(operand, 24, "spatha-plan", -1.0)
+        with pytest.raises(KeyError):
+            dispatcher.record_runtime(operand, 24, "no-such-backend", 1.0)
+        with pytest.raises(ValueError):
+            KernelDispatcher(measurement_alpha=0.0)
+        with pytest.raises(ValueError):
+            KernelDispatcher(measurement_alpha=1.5)
+
+    def test_observe_runtimes_feeds_execute(self, operand, rng):
+        dispatcher = KernelDispatcher(observe_runtimes=True)
+        b = rng.normal(size=(64, 8)).astype(np.float32)
+        dispatcher.execute(operand, b)
+        stats = dispatcher.health_stats()
+        assert stats["observations"] >= 1
+        assert stats["observed_backends"]  # at least the executing backend
+
+    def test_observation_off_by_default_keeps_model_ranking(self, operand, rng):
+        dispatcher = KernelDispatcher()
+        b = rng.normal(size=(64, 8)).astype(np.float32)
+        dispatcher.execute(operand, b)
+        assert dispatcher.health_stats()["observations"] == 0
+        assert dispatcher.dispatch(operand, 8).measured == {}
 
 
 class TestDispatchedExecution:

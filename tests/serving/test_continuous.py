@@ -22,6 +22,7 @@ from repro.serving import (
     Request,
     ServingEngine,
     plan_continuous_batch,
+    plan_continuous_batch_reference,
     simulate_serving,
     sweep_batch_windows,
     uniform_arrivals,
@@ -130,6 +131,193 @@ class TestContinuousBatcher:
         assert key.token_bucket == 8
         assert [it[0] for it in chunk] == ["a", "b"]
         assert plan_continuous_batch([], lambda i: i, lambda i: 0, lambda i: i, 4) is None
+
+
+class TestSubmitValidatesExactlyOnce:
+    """Regression: ``ContinuousBatcher.submit_many`` used to run the full
+    non-finite payload scan twice per request (once itself, once in the
+    parent).  Validation now happens exactly once, in the base submit
+    methods, and the error surface is unchanged."""
+
+    def test_payload_scanned_exactly_once(self, rng, monkeypatch):
+        import repro.serving.batcher as batcher_mod
+
+        scans = []
+        real = batcher_mod._reject_non_finite
+
+        def counting(request):
+            scans.append(request.request_id)
+            real(request)
+
+        monkeypatch.setattr(batcher_mod, "_reject_non_finite", counting)
+        batcher = ContinuousBatcher.ladder()
+        reqs = make_requests(rng, [4, 6, 9], prefix="scan")
+        batcher.submit(reqs[0])
+        assert scans == ["scan-0000"]
+        batcher.submit_many(reqs[1:])
+        assert scans == ["scan-0000", "scan-0001", "scan-0002"]
+
+    def test_malformed_submissions_raise_the_same_messages(self, rng):
+        batcher = ContinuousBatcher.ladder()
+        with pytest.raises(TypeError, match="submit expects a Request"):
+            batcher.submit("nope")
+        with pytest.raises(TypeError, match="submit_many expects Request instances"):
+            batcher.submit_many(["nope"])
+        bad = Request("cont-bad", np.full((4, HIDDEN), np.nan, dtype=np.float32))
+        with pytest.raises(ValueError, match="cont-bad.*non-finite"):
+            batcher.submit(bad)
+        with pytest.raises(ValueError, match="cont-bad.*non-finite"):
+            batcher.submit_many([bad])
+        assert batcher.pending == 0
+
+        (ok,) = make_requests(rng, [4], prefix="dup")
+        batcher.submit(ok)
+        with pytest.raises(ValueError, match="duplicate request_id .* in this window"):
+            batcher.submit(Request(ok.request_id, ok.activations))
+        with pytest.raises(ValueError, match="duplicate request_ids in this window"):
+            batcher.submit_many([Request(ok.request_id, ok.activations)])
+        twin_a, twin_b = make_requests(rng, [4, 4], prefix="twin")
+        clone = Request(twin_a.request_id, twin_b.activations)
+        with pytest.raises(
+            ValueError, match="duplicate request_ids within the submitted batch"
+        ):
+            batcher.submit_many([twin_a, clone])
+        assert batcher.pending == 1  # only the one accepted submit queued
+
+
+class TestIncrementalSchedulerState:
+    """Satellite coverage for the incremental queues: arrival inclusivity,
+    ``next_event_us`` across partial drains and evictions, and the
+    chunk-sequence equivalence property against the reference planner."""
+
+    def test_arrived_is_inclusive_at_equality(self, rng):
+        batcher = ContinuousBatcher.ladder()
+        early, exact = make_requests(rng, [5, 7], arrivals=[50.0, 100.0], prefix="inc")
+        batcher.submit(early)
+        batcher.submit(exact)
+        assert [r.request_id for r in batcher.arrived(99.0)] == ["inc-0000"]
+        # arrival_us == now_us is eligible, both in arrived() ...
+        assert sorted(r.request_id for r in batcher.arrived(100.0)) == [
+            "inc-0000",
+            "inc-0001",
+        ]
+        # ... and for the chunk itself.
+        batch = batcher.next_batch(100.0)
+        taken = {r.request_id for r in batch.requests}
+        while batcher.pending:
+            taken |= {r.request_id for r in batcher.next_batch(100.0).requests}
+        assert taken == {"inc-0000", "inc-0001"}
+
+    def test_next_event_after_partial_drain(self, rng):
+        batcher = ContinuousBatcher.ladder(max_batch_size=2)
+        reqs = make_requests(rng, [4, 4, 4, 4], arrivals=[10.0, 20.0, 30.0, 99.0],
+                             prefix="ev")
+        for r in reqs:
+            batcher.submit(r)
+        assert batcher.next_event_us() == 10.0
+        batch = batcher.next_batch(35.0)  # cap 2: takes 10.0 and 20.0
+        assert [r.request_id for r in batch.requests] == ["ev-0000", "ev-0001"]
+        assert batcher.next_event_us() == 30.0  # head advanced past the drain
+        batcher.next_batch(35.0)
+        assert batcher.next_event_us() == 99.0  # only the future request left
+
+    def test_next_event_after_shed_and_expiry(self, rng):
+        payload = rng.normal(size=(4, HIDDEN)).astype(np.float32)
+        # drop-expired: the expired head is evicted to admit the newcomer,
+        # and the arrival heap must not keep reporting it.
+        batcher = ContinuousBatcher.ladder(max_queue_depth=1,
+                                           shed_policy="drop-expired")
+        batcher.submit(Request("ne-dead", payload, arrival_us=5.0, deadline_us=10.0))
+        assert batcher.next_event_us() == 5.0
+        assert batcher.submit(Request("ne-live", payload, arrival_us=20.0)) is not None
+        assert batcher.total_expired == 1
+        assert batcher.next_event_us() == 20.0
+        # reject-newest: the shed request never enters the heap at all.
+        rejecting = ContinuousBatcher.ladder(max_queue_depth=1)
+        rejecting.submit(Request("sh-0", payload, arrival_us=5.0))
+        assert rejecting.submit(Request("sh-1", payload, arrival_us=1.0)) is None
+        assert rejecting.total_shed == 1
+        assert rejecting.next_event_us() == 5.0
+        # explicit expiry likewise advances the event horizon.
+        expiring = ContinuousBatcher.ladder()
+        expiring.submit(Request("ex-0", payload, arrival_us=5.0, deadline_us=10.0))
+        expiring.submit(Request("ex-1", payload, arrival_us=40.0))
+        assert expiring.next_event_us() == 5.0
+        assert [r.request_id for r in expiring.expire_due(60.0)] == ["ex-0"]
+        assert expiring.next_event_us() == 40.0
+
+    @pytest.mark.parametrize(
+        "shed_kwargs",
+        [
+            {},
+            {"max_queue_depth": 6, "shed_policy": "reject-newest"},
+            {"max_queue_depth": 6, "shed_policy": "drop-expired"},
+        ],
+        ids=["unbounded", "reject-newest", "drop-expired"],
+    )
+    def test_chunk_sequence_matches_reference_planner(self, rng, shed_kwargs):
+        """The equivalence property: over random arrival schedules, step
+        cadences and shed policies, the incremental batcher emits exactly
+        the chunk sequence the reference planner computes from a mirrored
+        flat pending list."""
+        for _ in range(4):
+            batcher = ContinuousBatcher.ladder(max_batch_size=3, **shed_kwargs)
+            n = 24
+            lengths = rng.integers(1, 20, size=n)
+            arrivals = np.sort(rng.uniform(0.0, 1000.0, size=n))
+            reqs = [
+                Request(
+                    f"prop-{i:04d}",
+                    rng.normal(size=(int(t), HIDDEN)).astype(np.float32),
+                    arrival_us=float(a),
+                    deadline_us=(float(a + rng.uniform(5.0, 400.0))
+                                 if rng.random() < 0.5 else None),
+                )
+                for i, (t, a) in enumerate(zip(lengths, arrivals))
+            ]
+            mirror = {}
+            cadence = float(rng.uniform(20.0, 120.0))
+            now, i, steps = 0.0, 0, 0
+            while (i < len(reqs) or batcher.pending) and steps < 10_000:
+                steps += 1
+                # Admit everything that has arrived; the mirror only keeps
+                # what the batcher actually accepted, minus what shedding's
+                # drop-expired path evicted along the way.
+                before = len(batcher.expired_log)
+                while i < len(reqs) and reqs[i].arrival_us <= now:
+                    request = reqs[i]
+                    i += 1
+                    if batcher.submit(request) is not None:
+                        mirror[request.request_id] = request
+                for evicted in batcher.expired_log[before:]:
+                    mirror.pop(evicted.request_id, None)
+                for expired in batcher.expire_due(now):
+                    mirror.pop(expired.request_id)
+                reference = plan_continuous_batch_reference(
+                    [r for r in mirror.values() if r.arrival_us <= now],
+                    key_of=batcher.bucket_key,
+                    arrival_of=lambda r: r.arrival_us,
+                    id_of=lambda r: r.request_id,
+                    max_batch_size=batcher.max_batch_size,
+                )
+                batch = batcher.next_batch(now)
+                if reference is None:
+                    assert batch is None
+                else:
+                    ref_key, ref_chunk = reference
+                    assert batch is not None
+                    assert batch.key == ref_key
+                    assert [r.request_id for r in batch.requests] == [
+                        r.request_id for r in ref_chunk
+                    ]
+                    for r in batch.requests:
+                        mirror.pop(r.request_id)
+                if batch is None and i < len(reqs):
+                    now = max(now + cadence, reqs[i].arrival_us)
+                else:
+                    now += cadence
+            assert steps < 10_000, "scheduler failed to drain the schedule"
+            assert not mirror and batcher.pending == 0
 
 
 class TestContinuousServingBitExactness:

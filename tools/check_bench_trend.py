@@ -1,0 +1,151 @@
+#!/usr/bin/env python
+"""Gate a bench record against absolute floors and a prior baseline.
+
+Two checks, both over the ``benchmarks`` entry list a
+``benchmarks/run_bench.py`` run writes:
+
+1. **Serving floor** — every ``serving.*`` entry must hold a speedup of at
+   least ``--min-serving-speedup`` (default 1.0): the serving stack exists
+   to beat its own reference policies, so a sub-1.0 entry is a wall-clock
+   regression by definition (this is exactly the regression class the
+   continuous-batching rework fixed; the gate keeps it fixed).  The one
+   exception is ``serving.encoder_faulted``: that entry compares fault-free
+   serving against the *same* schedule under seeded fault injection, so its
+   ratio is below 1.0 by construction (failovers re-execute work); its gate
+   is availability, not speedup, and the floor exempts it.  The trend check
+   below still covers it.
+2. **Trend** — when a baseline record is given, any entry present in both
+   (matched by ``(op, shape)``) must not regress by more than
+   ``--regression-tolerance`` (default 10%) relative to the baseline's
+   recorded speedup.  Entries only one side has are ignored (no fabricated
+   comparisons when shapes differ between records).
+
+The serving floor is calibrated for *full-mode* records: ``--quick``
+records run the serving benches at smoke-test shapes where per-step
+scheduling overhead dominates the near-zero compute, so gating them at
+1.0x would fail by construction.  CI therefore runs this tool only in the
+perf job, against a full ``benchmarks/run_bench.py`` run.
+
+CI's advisory perf job runs this against the committed record::
+
+    PYTHONPATH=src python benchmarks/run_bench.py --output BENCH_current.json
+    python tools/check_bench_trend.py BENCH_current.json --baseline BENCH_engine.json
+
+Exits non-zero listing every violated gate; prints a one-line OK otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+# serving.* entries whose speedup is sub-1.0 by construction: the faulted
+# entry's "vectorized" side serves the identical schedule with seeded faults
+# injected, so failover retries make it strictly slower than the fault-free
+# reference.  Its guarantee is availability under faults (tested in
+# tests/serving/), not wall-clock speedup — the floor must not flag it.
+# The baseline trend comparison still applies to exempted entries.
+SERVING_FLOOR_EXEMPT = ("serving.encoder_faulted",)
+
+
+def _entries(record) -> List[dict]:
+    """The benchmark entry list of a parsed record (or a bare entry list)."""
+    if isinstance(record, list):
+        return record
+    if isinstance(record, dict) and isinstance(record.get("benchmarks"), list):
+        return record["benchmarks"]
+    raise ValueError(
+        "bench record must be a list of entries or a dict with a 'benchmarks' list"
+    )
+
+
+def check_trend(
+    current,
+    baseline=None,
+    min_serving_speedup: float = 1.0,
+    regression_tolerance: float = 0.10,
+) -> List[str]:
+    """All gate violations of ``current`` (empty list == all gates hold)."""
+    if not 0.0 <= regression_tolerance < 1.0:
+        raise ValueError(
+            f"regression_tolerance must be in [0, 1), got {regression_tolerance}"
+        )
+    failures: List[str] = []
+    current_entries = _entries(current)
+    for entry in current_entries:
+        op, shape = entry.get("op", "?"), entry.get("shape", "?")
+        speedup = entry.get("speedup")
+        if speedup is None:
+            failures.append(f"{op} [{shape}]: entry has no speedup field")
+            continue
+        if (
+            op.startswith("serving.")
+            and op not in SERVING_FLOOR_EXEMPT
+            and speedup < min_serving_speedup
+        ):
+            failures.append(
+                f"{op} [{shape}]: serving speedup {speedup:.2f}x is below the "
+                f"{min_serving_speedup:.2f}x floor"
+            )
+    if baseline is not None:
+        by_key: Dict[Tuple[str, str], dict] = {
+            (e.get("op", "?"), e.get("shape", "?")): e for e in _entries(baseline)
+        }
+        for entry in current_entries:
+            key = (entry.get("op", "?"), entry.get("shape", "?"))
+            prior = by_key.get(key)
+            if prior is None or entry.get("speedup") is None:
+                continue
+            prior_speedup = prior.get("speedup")
+            if not prior_speedup or prior_speedup <= 0:
+                continue
+            floor = prior_speedup * (1.0 - regression_tolerance)
+            if entry["speedup"] < floor:
+                failures.append(
+                    f"{key[0]} [{key[1]}]: speedup {entry['speedup']:.2f}x regressed "
+                    f">{regression_tolerance:.0%} from the baseline's "
+                    f"{prior_speedup:.2f}x (floor {floor:.2f}x)"
+                )
+    return failures
+
+
+def _load(path: Optional[str]):
+    if path is None:
+        return None
+    return json.loads(Path(path).read_text())
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="bench record JSON to gate")
+    parser.add_argument(
+        "--baseline", default=None, help="prior bench record JSON to compare against"
+    )
+    parser.add_argument("--min-serving-speedup", type=float, default=1.0)
+    parser.add_argument("--regression-tolerance", type=float, default=0.10)
+    args = parser.parse_args(argv)
+    failures = check_trend(
+        _load(args.current),
+        baseline=_load(args.baseline),
+        min_serving_speedup=args.min_serving_speedup,
+        regression_tolerance=args.regression_tolerance,
+    )
+    if failures:
+        print(f"bench trend gate: {len(failures)} violation(s)")
+        for failure in failures:
+            print(f"  FAIL {failure}")
+        return 1
+    n = len(_entries(_load(args.current)))
+    print(
+        f"bench trend gate: OK — {n} entries hold the "
+        f"{args.min_serving_speedup:.2f}x serving floor"
+        + ("" if args.baseline is None else " and the baseline trend")
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
