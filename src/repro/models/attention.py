@@ -23,9 +23,19 @@ masked path therefore derives each sequence's valid length from the mask
 and executes the *grouped* computation: sequences of equal valid length
 are sliced out of the padded batch and run through the standard unmasked
 code at their true shapes, which is bit-for-bit the standalone forward by
-the slab-exactness of every operator.  Masks without right-padding
-structure (causal, ALiBi-style biases, scattered ``-inf``) fall back to a
-general masked computation — exact zero weights, no bitwise claim.
+the slab-exactness of every operator.
+
+Causal masks get the same treatment with the roles rotated a quarter turn:
+under a causal mask every *query* position attends to a different key
+count, so the only shape-stable decomposition is per position — exactly
+the shape KV-cached decoding executes.  :meth:`MultiHeadAttention.forward`
+detects the mask :func:`~repro.models.functional.causal_mask` builds and
+runs the per-position path (:meth:`MultiHeadAttention.forward_step` over a
+scratch :class:`~repro.models.kv_cache.LayerKV`), which is why cached
+decoding is bit-for-bit the full causal recompute: they are literally the
+same operations at the same shapes.  Masks without either structure
+(ALiBi-style biases, scattered ``-inf``) fall back to a general masked
+computation — exact zero weights, no bitwise claim.
 """
 
 from __future__ import annotations
@@ -40,11 +50,13 @@ from .functional import (
     attention_context,
     attention_scores,
     grouped_by_length,
+    mask_is_causal,
     merge_heads,
     resolve_padding_lengths,
     softmax,
     split_heads,
 )
+from .kv_cache import LayerKV
 from .layers import DenseLinear, SparseLinear, init_dense_linear
 
 LinearLike = Union[DenseLinear, SparseLinear]
@@ -127,6 +139,14 @@ class MultiHeadAttention:
             lengths = resolve_padding_lengths(mask, hidden)
             if lengths is not None:
                 return self._forward_grouped(hidden, lengths, return_probs)
+            if mask_is_causal(mask):
+                if np.shape(mask)[-1] != hidden.shape[1]:
+                    raise ValueError(
+                        f"causal mask covers {np.shape(mask)[-1]} key positions but the "
+                        f"activations have {hidden.shape[1]} tokens; build the mask with "
+                        f"causal_mask({hidden.shape[1]})"
+                    )
+                return self._forward_causal(hidden, return_probs)
         q = split_heads(self.query.forward(hidden), self.config.num_heads)
         k = split_heads(self.key.forward(hidden), self.config.num_heads)
         v = split_heads(self.value.forward(hidden), self.config.num_heads)
@@ -165,6 +185,78 @@ class MultiHeadAttention:
 
         out = grouped_by_length(hidden, lengths, forward_capturing_probs)
         return out, probs
+
+    def forward_step(
+        self,
+        new_token: np.ndarray,
+        kv_cache,
+        return_probs: bool = False,
+    ):
+        """Incremental causal attention for one appended token.
+
+        ``new_token`` is the ``(1, hidden)`` activation of the sequence's
+        newest position; ``kv_cache`` is a per-layer KV view exposing
+        ``append(k, v) -> (K, V)`` (:class:`~repro.models.kv_cache.LayerKV`
+        or a paged layer view).  The token's K/V are projected at their
+        true one-row shape, appended to the cache, and the query attends
+        over every cached position — no mask needed: the causal row always
+        includes at least the token itself, so its softmax row sums to 1,
+        never the fully-masked zero sentinel.  Returns the ``(1, hidden)``
+        attention output (plus the ``(heads, t)`` probability row with
+        ``return_probs``).
+        """
+        x = np.asarray(new_token, dtype=np.float32)
+        if x.ndim == 1:
+            x = x[None]
+        if x.shape != (1, self.config.hidden_size):
+            raise ValueError(
+                f"new_token must have shape (1, {self.config.hidden_size}), got {x.shape}"
+            )
+        h3 = x[None]  # (1, 1, hidden)
+        heads = self.config.num_heads
+        q = split_heads(self.query.forward(h3), heads)  # (1, heads, 1, d)
+        k_new = split_heads(self.key.forward(h3), heads)[0, :, 0, :]  # (heads, d)
+        v_new = split_heads(self.value.forward(h3), heads)[0, :, 0, :]
+        k_all, v_all = kv_cache.append(k_new, v_new)  # (t, heads, d)
+        k4 = k_all.transpose(1, 0, 2)[None]  # (1, heads, t, d)
+        v4 = v_all.transpose(1, 0, 2)[None]
+        scores = attention_scores(q, k4)  # (1, heads, 1, t)
+        probs = softmax(scores, axis=-1)
+        context = merge_heads(attention_context(probs, v4))  # (1, 1, hidden)
+        out = self.output.forward(context)[0]  # (1, hidden)
+        if return_probs:
+            return out, probs[0, :, 0, :]
+        return out
+
+    def _forward_causal(self, hidden: np.ndarray, return_probs: bool):
+        """Causal-mask forward as per-position true-shape execution.
+
+        Each position runs :meth:`forward_step` against a scratch
+        :class:`~repro.models.kv_cache.LayerKV` — the identical operations
+        (and therefore the identical bits) KV-cached decoding executes,
+        minus the cache reuse.  Probabilities scatter into the ``(batch,
+        heads, seq, seq)`` layout with exact zeros above the diagonal.
+        """
+        batch, seq, _ = hidden.shape
+        out = np.empty_like(hidden)
+        probs = (
+            np.zeros((batch, self.config.num_heads, seq, seq), dtype=np.float32)
+            if return_probs
+            else None
+        )
+        for b in range(batch):
+            kv = LayerKV()
+            for t in range(seq):
+                step = self.forward_step(hidden[b, t][None], kv, return_probs=return_probs)
+                if return_probs:
+                    row, row_probs = step
+                    probs[b, :, t, : t + 1] = row_probs
+                else:
+                    row = step
+                out[b, t] = row[0]
+        if return_probs:
+            return out, probs
+        return out
 
     # ------------------------------------------------------------------
     # Latency accounting helpers (used by models.latency)

@@ -18,6 +18,12 @@ matmuls and softmax.  ``exp(-inf) == 0.0`` exactly, so masked keys receive
 the right-padding structure and take the bit-exact grouped execution path —
 see :mod:`repro.models.attention` for why exact zeros alone are not enough
 for bitwise equality).
+
+Decoder workloads add the second recognised mask family: :func:`causal_mask`
+builds the lower-triangular additive mask and :func:`mask_is_causal` detects
+it, routing the model layers onto the per-position causal path whose bits
+are, by construction, those of incremental KV-cached decoding (see
+:mod:`repro.models.kv_cache`).
 """
 
 from __future__ import annotations
@@ -151,6 +157,45 @@ def padding_mask(lengths: Union[Sequence[int], np.ndarray], total_tokens: int) -
     return mask[:, None, None, :]
 
 
+def causal_mask(total_tokens: int) -> np.ndarray:
+    """Additive causal (autoregressive) attention mask.
+
+    Returns a ``(total_tokens, total_tokens)`` float32 mask — ``0.0`` on and
+    below the diagonal, ``-inf`` strictly above — which numpy broadcasting
+    aligns as per-query ``(seq_q, seq_k)`` onto ``(batch, heads, seq_q,
+    seq_k)`` attention scores.  Query position ``i`` attends to keys ``0..i``
+    only; in particular every query row keeps at least itself, so a causal
+    mask can never produce the all-zero fully-masked softmax sentinel.
+    """
+    if total_tokens <= 0:
+        raise ValueError("total_tokens must be positive")
+    return np.triu(np.full((total_tokens, total_tokens), -np.inf, dtype=np.float32), k=1)
+
+
+def mask_is_causal(mask: np.ndarray) -> bool:
+    """Whether ``mask`` is exactly the mask :func:`causal_mask` builds.
+
+    Recognises the ``(seq, seq)`` 2-D layout and its ``(1, 1, seq, seq)``
+    4-D broadcast-equivalent: exactly ``0.0`` on and below the diagonal and
+    exactly ``-inf`` strictly above it.  The model layers use this to take
+    the per-position causal path (decode-shaped true-length execution, the
+    bit-exact sibling of KV-cached decoding); anything else — per-batch
+    causal variants, finite biases, scattered ``-inf`` — stays on the
+    general additive path.
+    """
+    mask = np.asarray(mask)
+    if mask.ndim == 4:
+        if mask.shape[0] != 1 or mask.shape[1] != 1:
+            return False
+        mask = mask[0, 0]
+    if mask.ndim != 2 or mask.shape[0] != mask.shape[1] or mask.shape[0] == 0:
+        return False
+    seq = mask.shape[0]
+    lower = np.tril_indices(seq)
+    upper = np.triu_indices(seq, k=1)
+    return bool(np.all(mask[lower] == 0.0) and np.all(np.isneginf(mask[upper].astype(np.float64))))
+
+
 def mask_valid_lengths(mask: np.ndarray) -> Optional[np.ndarray]:
     """Per-sequence valid lengths of a right-padding key mask, else ``None``.
 
@@ -196,7 +241,22 @@ def resolve_padding_lengths(mask: np.ndarray, hidden: np.ndarray) -> Optional[np
     caller's mask instead of failing loudly.
     """
     lengths = mask_valid_lengths(mask)
-    if lengths is None or lengths.shape[0] != hidden.shape[0]:
+    if lengths is None:
+        return None
+    if mask.shape[0] == mask.shape[-1] and np.array_equal(
+        lengths, np.arange(1, mask.shape[-1] + 1)
+    ):
+        # A causal mask reshaped to (seq, 1, 1, seq) is byte-for-byte a
+        # right-padding mask for a staircase batch of lengths 1..seq — the
+        # two are indistinguishable, and treating the causal one as padding
+        # would silently compute per-*sequence* prefixes instead of
+        # per-*query* ones.  Refuse loudly rather than misclassify.
+        raise ValueError(
+            f"mask of shape {np.shape(mask)} is a causal staircase, not a "
+            f"right-padding mask; pass causal_mask({mask.shape[-1]}) (2-D) for "
+            f"autoregressive attention"
+        )
+    if lengths.shape[0] != hidden.shape[0]:
         return None
     if np.shape(mask)[-1] != hidden.shape[1]:
         raise ValueError(

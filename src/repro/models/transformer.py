@@ -18,7 +18,14 @@ import numpy as np
 
 from .attention import LinearLike, MultiHeadAttention
 from .config import ModelConfig
-from .functional import gelu, grouped_by_length, layer_norm, resolve_padding_lengths
+from .functional import (
+    gelu,
+    grouped_by_length,
+    layer_norm,
+    mask_is_causal,
+    resolve_padding_lengths,
+)
+from .kv_cache import LayerKV, SequenceKV
 from .layers import SparseLinear, init_dense_linear
 
 if TYPE_CHECKING:  # import cycle: kernels.spatha pulls in formats, not models
@@ -98,7 +105,11 @@ class EncoderLayer:
         GELU are per-row operators, but BLAS kernel selection is
         shape-dependent, so even they are only bitwise-reproducible when
         executed at the true sequence length (see
-        :mod:`repro.models.attention`).  Other mask structures apply the
+        :mod:`repro.models.attention`).  A causal mask
+        (:func:`~repro.models.functional.causal_mask`) runs the whole block
+        per position — attention, residuals, LayerNorms and FFN all at the
+        one-row decode shape — which is bit-for-bit what KV-cached decoding
+        (:meth:`forward_step`) executes.  Other mask structures apply the
         general masked attention (exact zero weights, no bitwise claim)
         with every row treated as valid through the FFN and LayerNorms.
         """
@@ -107,10 +118,46 @@ class EncoderLayer:
             lengths = resolve_padding_lengths(attention_mask, hidden)
             if lengths is not None:
                 return grouped_by_length(hidden, lengths, self.forward)
+            if mask_is_causal(attention_mask):
+                if np.shape(attention_mask)[-1] != hidden.shape[1]:
+                    raise ValueError(
+                        f"causal mask covers {np.shape(attention_mask)[-1]} key positions "
+                        f"but the activations have {hidden.shape[1]} tokens; build the "
+                        f"mask with causal_mask({hidden.shape[1]})"
+                    )
+                return self._forward_causal(hidden)
         attn_out = self.attention.forward(hidden, mask=attention_mask)
         hidden = layer_norm(hidden + attn_out, self.ln1_gamma, self.ln1_beta)
         ffn_out = self.ffn.forward(hidden)
         return layer_norm(hidden + ffn_out, self.ln2_gamma, self.ln2_beta)
+
+    def forward_step(self, new_token: np.ndarray, kv_view) -> np.ndarray:
+        """Run the whole block for one appended token against cached K/V.
+
+        ``new_token`` is ``(1, hidden)``; ``kv_view`` is this layer's KV
+        view (``append(k, v) -> (K, V)``).  Every operator — the attention
+        step, both residual adds and LayerNorms, and the FFN — executes at
+        the one-row decode shape, so the block's bits depend only on the
+        token's value and the cached K/V, never on how many other tokens
+        are in flight.
+        """
+        token = np.asarray(new_token, dtype=np.float32)
+        if token.ndim == 1:
+            token = token[None]
+        row = self.attention.forward_step(token, kv_view)  # (1, hidden)
+        hidden = layer_norm(token + row, self.ln1_gamma, self.ln1_beta)
+        ffn_out = self.ffn.forward(hidden)
+        return layer_norm(hidden + ffn_out, self.ln2_gamma, self.ln2_beta)
+
+    def _forward_causal(self, hidden: np.ndarray) -> np.ndarray:
+        """Causal forward of the whole block: per-position decode-shaped ops."""
+        batch, seq, _ = hidden.shape
+        out = np.empty_like(hidden)
+        for b in range(batch):
+            kv = LayerKV()
+            for t in range(seq):
+                out[b, t] = self.forward_step(hidden[b, t][None], kv)[0]
+        return out
 
     def named_linear_layers(self) -> Dict[str, LinearLike]:
         """All six prunable linear layers of this block, keyed by name."""
@@ -209,6 +256,36 @@ class TransformerEncoder:
         for layer in self.layers:
             hidden = layer.forward(hidden)
         return hidden
+
+    def new_sequence_kv(self) -> SequenceKV:
+        """A fresh reference KV cache sized for this stack (one store per layer)."""
+        return SequenceKV(len(self.layers))
+
+    def forward_step(self, new_token: np.ndarray, kv_cache) -> np.ndarray:
+        """One decode step: run an appended token through the whole stack.
+
+        ``new_token`` is the ``(1, hidden)`` activation of the sequence's
+        newest position; ``kv_cache`` is a per-sequence cache exposing
+        ``extend()`` and ``view(layer_index)`` — either the reference
+        :class:`~repro.models.kv_cache.SequenceKV` or a
+        :class:`~repro.models.kv_cache.PagedKVCache` sequence handle; the
+        two are bit-interchangeable.  Returns the stack output for the
+        token, ``(1, hidden)``.  Feeding each position of a sequence
+        through this method against one cache is bit-for-bit
+        ``forward(seq, attention_mask=causal_mask(len(seq)))`` — the
+        causal path *is* this computation, minus the cache reuse.
+        """
+        token = np.asarray(new_token, dtype=np.float32)
+        if token.ndim == 1:
+            token = token[None]
+        if token.shape != (1, self.config.hidden_size):
+            raise ValueError(
+                f"new_token must have shape (1, {self.config.hidden_size}), got {token.shape}"
+            )
+        kv_cache.extend()
+        for layer in self.layers:
+            token = layer.forward_step(token, kv_cache.view(layer.index))
+        return token
 
     def warm_spmm_plans(self) -> int:
         """Eagerly build the SpMM execution plan of every sparse layer.

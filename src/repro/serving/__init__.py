@@ -24,6 +24,12 @@ subsystem (the ROADMAP's "heavy traffic" direction):
   without blocking the rung; per-request
   :class:`~repro.serving.continuous.CompletionRecord` metadata is
   deterministic.
+* :mod:`~repro.serving.decoder` — multi-step decode serving:
+  :class:`DecoderServingEngine` keeps each request resident on its ladder
+  rung for many steps, appending one token per step into a shared
+  :class:`~repro.models.kv_cache.PagedKVCache` (block tables, prefix
+  sharing, copy-on-write); cached decoding is bit-for-bit the per-step
+  full causal recompute (:func:`decode_reference`).
 * :mod:`~repro.serving.simulate` — throughput/latency simulator for
   batch-window sweeps (requests/s vs window) on the modelled GPU, with
   fixed-grid, async arrival-deadline, or window-free continuous
@@ -54,6 +60,7 @@ from .continuous import (
     plan_continuous_batch,
     plan_continuous_batch_reference,
 )
+from .decoder import DecodeRequest, DecoderServingEngine, decode_reference
 from .engine import ServingEngine
 from .faults import (
     OUTCOME_FAILED,
@@ -95,6 +102,8 @@ __all__ = [
     "ChaosSimReport",
     "CompletionRecord",
     "ContinuousBatcher",
+    "DecodeRequest",
+    "DecoderServingEngine",
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",
@@ -107,6 +116,7 @@ __all__ = [
     "ServingEngine",
     "ServingSimReport",
     "SimulatedRequest",
+    "decode_reference",
     "outcome_counts",
     "plan_async_closings",
     "plan_continuous_batch",

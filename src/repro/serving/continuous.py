@@ -47,7 +47,7 @@ from __future__ import annotations
 from bisect import bisect_left, bisect_right, insort
 from dataclasses import dataclass
 from heapq import heappop, heappush
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from .batcher import (
     DEFAULT_TOKEN_BUCKETS,
@@ -143,6 +143,11 @@ def _arrival_rank(request: Request) -> Tuple[float, str]:
     return (request.arrival_us, request.request_id)
 
 
+def _bucket_rank(key: BucketKey) -> Tuple[int, int]:
+    """Deterministic bucket-key order (unique per key — it *is* the key)."""
+    return (key.features, key.token_bucket)
+
+
 class ContinuousBatcher(ShapeBucketBatcher):
     """Shape-bucketing batcher scheduled per engine step, not per window.
 
@@ -187,6 +192,20 @@ class ContinuousBatcher(ShapeBucketBatcher):
     land in :meth:`take_shed` / :meth:`take_expired` so drivers can report
     their outcomes; the cumulative brownout counters are on
     :meth:`admission_stats`.
+
+    Multi-step (decode) serving adds two opt-in dimensions.  **Rung
+    occupancy**: a decode request keeps executing on its rung for many
+    steps after it is popped; the driving engine marks the slot held with
+    :meth:`acquire_slot` and returns it with :meth:`release_slot`, and
+    :meth:`next_batch` admits into a rung only up to ``max_batch_size``
+    minus its held slots (a full rung's queue simply waits — other rungs
+    stay schedulable).  **KV-memory budget**: with ``kv_budget_blocks``
+    set, admission also sheds a request whose projected KV footprint
+    (``kv_cost(request)`` blocks, default 1) would push the total reserved
+    past the budget; reservations are returned by :meth:`release_kv` when
+    the engine frees the sequence's blocks (or immediately, for requests
+    expired while still queued).  Both default off, leaving single-step
+    engines untouched.
     """
 
     def __init__(
@@ -195,14 +214,25 @@ class ContinuousBatcher(ShapeBucketBatcher):
         max_batch_size: int = 64,
         max_queue_depth: Optional[int] = None,
         shed_policy: str = SHED_REJECT_NEWEST,
+        kv_budget_blocks: Optional[int] = None,
+        kv_cost: Optional[Callable[[Request], int]] = None,
     ) -> None:
         super().__init__(token_buckets=token_buckets, max_batch_size=max_batch_size)
         if max_queue_depth is not None and max_queue_depth < 1:
             raise ValueError("max_queue_depth must be >= 1 (or None for unbounded)")
         if shed_policy not in SHED_POLICIES:
             raise ValueError(f"shed_policy must be one of {SHED_POLICIES}, got {shed_policy!r}")
+        if kv_budget_blocks is not None and kv_budget_blocks < 1:
+            raise ValueError("kv_budget_blocks must be >= 1 (or None for unbudgeted)")
         self.max_queue_depth = max_queue_depth
         self.shed_policy = shed_policy
+        self.kv_budget_blocks = kv_budget_blocks
+        self._kv_cost_fn = kv_cost
+        #: KV blocks reserved by admitted-but-not-yet-released requests.
+        self.kv_reserved = 0
+        self._kv_cost_by_id: Dict[str, int] = {}
+        #: Rung slots held by in-flight multi-step sequences.
+        self._occupancy: Dict[BucketKey, int] = {}
         #: Requests shed/evicted since the last take_*; drivers drain these
         #: into RequestOutcomes.
         self.shed_log: List[Request] = []
@@ -215,6 +245,10 @@ class ContinuousBatcher(ShapeBucketBatcher):
         # maintained for the parent's duplicate-id validation):
         #: per-bucket queues, each sorted by (arrival_us, request_id).
         self._buckets: Dict[BucketKey, List[Request]] = {}
+        #: the bucket keys of ``_buckets`` kept sorted by ``_bucket_rank``:
+        #: insort on bucket creation, binary-search removal on bucket drain,
+        #: so :meth:`arrived` never re-sorts the key set per step.
+        self._sorted_keys: List[BucketKey] = []
         #: live queued requests by id (also the queue-depth source of truth).
         self._by_id: Dict[str, Request] = {}
         #: admission sequence number per live id — heap entries carry the
@@ -231,22 +265,47 @@ class ContinuousBatcher(ShapeBucketBatcher):
     # ------------------------------------------------------------------
     # Admission (validation happened in submit/submit_many)
     # ------------------------------------------------------------------
+    def _kv_cost_of(self, request: Request) -> int:
+        """Projected KV-block footprint of one request (0 when unbudgeted)."""
+        if self.kv_budget_blocks is None:
+            return 0
+        cost = self._kv_cost_fn(request) if self._kv_cost_fn is not None else 1
+        if cost < 1:
+            raise ValueError(f"kv_cost must be >= 1 block, got {cost} for {request.request_id!r}")
+        return cost
+
+    def _over_capacity(self, kv_cost: int) -> bool:
+        if self.max_queue_depth is not None and self.pending >= self.max_queue_depth:
+            return True
+        return (
+            self.kv_budget_blocks is not None
+            and self.kv_reserved + kv_cost > self.kv_budget_blocks
+        )
+
     def _admit(self, request: Request) -> Optional[BucketKey]:
         """Admit or shed one validated request (``None`` when shed)."""
-        if self.max_queue_depth is not None and self.pending >= self.max_queue_depth:
+        kv_cost = self._kv_cost_of(request)
+        if self._over_capacity(kv_cost):
             if self.shed_policy == SHED_DROP_EXPIRED:
                 expired = self.expire_due(request.arrival_us)
                 self.expired_log.extend(expired)
                 self.total_expired += len(expired)
-            if self.pending >= self.max_queue_depth:
+            if self._over_capacity(kv_cost):
                 self.shed_log.append(request)
                 self.total_shed += 1
                 return None
-        return self._enqueue(request)
+        return self._enqueue(request, kv_cost)
 
-    def _enqueue(self, request: Request) -> BucketKey:
+    def _enqueue(self, request: Request, kv_cost: int = 0) -> BucketKey:
         key = self.bucket_key(request)
-        insort(self._buckets.setdefault(key, []), request, key=_arrival_rank)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = self._buckets[key] = []
+            insort(self._sorted_keys, key, key=_bucket_rank)
+        insort(bucket, request, key=_arrival_rank)
+        if kv_cost:
+            self._kv_cost_by_id[request.request_id] = kv_cost
+            self.kv_reserved += kv_cost
         self._admit_seq += 1
         seq = self._admit_seq
         rid = request.request_id
@@ -275,8 +334,14 @@ class ContinuousBatcher(ShapeBucketBatcher):
         bucket = self._buckets[key]
         del bucket[bisect_left(bucket, _arrival_rank(request), key=_arrival_rank)]
         if not bucket:
-            del self._buckets[key]
+            self._drop_bucket(key)
         self._forget(request)
+        self.release_kv(request.request_id)  # never ran; reservation returns now
+
+    def _drop_bucket(self, key: BucketKey) -> None:
+        """Forget an emptied bucket (and its slot in the sorted key order)."""
+        del self._buckets[key]
+        del self._sorted_keys[bisect_left(self._sorted_keys, _bucket_rank(key), key=_bucket_rank)]
 
     def _live_arrival_top(self) -> Optional[Tuple[float, str, int, BucketKey]]:
         """The heap's oldest *live* entry — the globally most urgent queued
@@ -310,7 +375,42 @@ class ContinuousBatcher(ShapeBucketBatcher):
             "shed": self.total_shed,
             "expired": self.total_expired,
             "pending": self.pending,
+            "kv_budget_blocks": self.kv_budget_blocks,
+            "kv_reserved": self.kv_reserved,
+            "occupied_slots": sum(self._occupancy.values()),
         }
+
+    # ------------------------------------------------------------------
+    # Multi-step occupancy (decode engines)
+    # ------------------------------------------------------------------
+    def acquire_slot(self, key: BucketKey) -> None:
+        """Mark one rung slot held by an in-flight multi-step sequence."""
+        self._occupancy[key] = self._occupancy.get(key, 0) + 1
+
+    def release_slot(self, key: BucketKey) -> None:
+        """Return a held rung slot (sequence completed, failed or evicted)."""
+        held = self._occupancy.get(key, 0)
+        if held <= 0:
+            raise RuntimeError(f"no held slot to release on rung {key}")
+        if held == 1:
+            del self._occupancy[key]
+        else:
+            self._occupancy[key] = held - 1
+
+    def occupied_slots(self, key: BucketKey) -> int:
+        """Slots currently held on one rung."""
+        return self._occupancy.get(key, 0)
+
+    def release_kv(self, request_id: str) -> int:
+        """Return a request's KV-budget reservation; returns the blocks freed.
+
+        Engines call this when the sequence's cache blocks are actually
+        freed (completion or failure); queued-request expiry calls it
+        internally.  Unknown ids are a harmless no-op (the request was
+        admitted unbudgeted)."""
+        cost = self._kv_cost_by_id.pop(request_id, 0)
+        self.kv_reserved -= cost
+        return cost
 
     # ------------------------------------------------------------------
     # Queue views
@@ -324,12 +424,14 @@ class ContinuousBatcher(ShapeBucketBatcher):
         """The queued requests whose ``arrival_us`` has passed at ``now_us``
         (inclusive: a request arriving exactly at ``now_us`` is eligible).
 
-        Arrived members form a prefix of each sorted bucket, so this costs
-        O(buckets log + arrived), not a scan of everything queued.  Returned
-        in deterministic (bucket key, then (arrival, id)) order.
+        Arrived members form a prefix of each sorted bucket and the bucket
+        keys are kept sorted incrementally (``_sorted_keys``), so this costs
+        O(buckets log + arrived) — no per-call re-sort of the key set, which
+        used to make every idle step O(B log B).  Returned in deterministic
+        (bucket key, then (arrival, id)) order.
         """
         out: List[Request] = []
-        for key in sorted(self._buckets, key=lambda k: (k.features, k.token_bucket)):
+        for key in self._sorted_keys:
             bucket = self._buckets[key]
             out.extend(bucket[: bisect_right(bucket, now_us, key=lambda r: r.arrival_us)])
         return out
@@ -371,23 +473,42 @@ class ContinuousBatcher(ShapeBucketBatcher):
         chunk's requests leave the queue (their ids become reusable);
         everything else — later same-rung members included — stays queued
         for the next step.  O(chunk) plus amortized heap maintenance.
+
+        Rungs whose slots are all held by in-flight multi-step sequences
+        (:meth:`acquire_slot`) are skipped — their queued heads wait for a
+        released slot while other rungs keep scheduling; with no held slots
+        (every single-step engine) the policy is exactly the reference.
         """
-        top = self._live_arrival_top()
-        if top is None or top[0] > now_us:
-            return None
-        key = top[3]
-        bucket = self._buckets[key]
-        limit = min(self.max_batch_size, len(bucket))
-        cut = 0
-        while cut < limit and bucket[cut].arrival_us <= now_us:
-            cut += 1
-        chunk = bucket[:cut]
-        del bucket[:cut]
-        if not bucket:
-            del self._buckets[key]
-        for request in chunk:
-            self._forget(request)
-        return MicroBatch(key=key, requests=chunk)
+        deferred: List[Tuple[float, str, int, BucketKey]] = []
+        result: Optional[MicroBatch] = None
+        while True:
+            top = self._live_arrival_top()
+            if top is None or top[0] > now_us:
+                break
+            key = top[3]
+            free = self.max_batch_size - self._occupancy.get(key, 0)
+            if free <= 0:
+                # Full rung: park its head entry aside and look at the next
+                # most urgent request (possibly the same rung — parked one
+                # at a time until another rung's head, or nothing, remains).
+                deferred.append(heappop(self._arrival_heap))
+                continue
+            bucket = self._buckets[key]
+            limit = min(free, len(bucket))
+            cut = 0
+            while cut < limit and bucket[cut].arrival_us <= now_us:
+                cut += 1
+            chunk = bucket[:cut]
+            del bucket[:cut]
+            if not bucket:
+                self._drop_bucket(key)
+            for request in chunk:
+                self._forget(request)
+            result = MicroBatch(key=key, requests=chunk)
+            break
+        for entry in deferred:
+            heappush(self._arrival_heap, entry)
+        return result
 
     def next_event_us(self) -> Optional[float]:
         """The earliest instant any queued request becomes schedulable.
@@ -408,11 +529,14 @@ class ContinuousBatcher(ShapeBucketBatcher):
         """
         items = list(self._by_id.values())
         self._buckets.clear()
+        self._sorted_keys.clear()
         self._by_id.clear()
         self._live_seq.clear()
         self._arrival_heap.clear()
         self._deadline_heap.clear()
         self._seen_ids = set()
+        for request in items:
+            self.release_kv(request.request_id)
         return [
             MicroBatch(key=key, requests=members)
             for key, members in self.plan_batches(

@@ -1,0 +1,462 @@
+"""Decoder serving: multi-step continuous batching over a paged KV cache.
+
+The other engines serve *one-shot* requests — a request occupies its batch
+slot for exactly one step.  Autoregressive decoding is different: a request
+generates ``new_tokens`` positions one step at a time, each step attending
+to every earlier position of its own sequence.  ``DecoderServingEngine``
+serves that shape of traffic on top of the continuous-batching scheduler:
+
+* **admission** pops queued prompts off the
+  :class:`~repro.serving.continuous.ContinuousBatcher` exactly as the
+  single-step engines do, but a popped request becomes a *resident*: it
+  holds its ladder-rung slot (:meth:`ContinuousBatcher.acquire_slot`)
+  across steps, so :meth:`ContinuousBatcher.next_batch` never over-admits
+  a rung whose slots are occupied by in-flight decodes;
+* **prefill** runs the prompt through
+  :meth:`~repro.models.transformer.TransformerEncoder.forward_step`
+  position by position into the engine's shared
+  :class:`~repro.models.kv_cache.PagedKVCache` — fixed-size blocks,
+  explicit alloc/free, reference counting (``cache_stats()`` reports the
+  block-table accounting);
+* **prefix sharing**: the first request of a prompt registers its prompt
+  blocks (and the prompt's final-position output) under the prompt's
+  content fingerprint; later requests submitted with the *same* prompt
+  attach to those blocks and skip prefill entirely (``prefix_hits``),
+  copy-on-write isolating the shared partial block on first append
+  (``cow_copies``);
+* **decode**: every engine step advances every resident by one token —
+  the newest output feeds back as the next input (this substrate has no
+  vocabulary, so "the generated token" is the hidden-state row itself);
+  a resident that reaches ``new_tokens`` leaves its step with a
+  :class:`~repro.serving.continuous.CompletionRecord`, frees its KV
+  blocks, returns its rung slot and releases its KV-budget reservation.
+
+Bit-exactness is inherited, not re-proven: the causal forward path is
+*defined* as per-position true-shape execution over a scratch KV store
+(see :mod:`repro.models.attention`), and ``forward_step`` against the
+paged cache runs the very same operations at the very same shapes — the
+cache only skips recomputing values recomputation would reproduce
+identically.  So cached decoding is bit-for-bit the per-step full
+recompute (:func:`decode_reference`), at every step, under any arrival
+interleaving, step cadence and bucket policy — the golden matrix in
+``tests/serving/test_decoder.py`` pins the whole grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from .batcher import BucketKey, Request
+from .continuous import CompletionRecord, ContinuousBatcher
+from .engine import (
+    OutcomeTrackingMixin,
+    admission_stats_of,
+    continuous_stats_of,
+)
+from .faults import OUTCOME_FAILED, OUTCOME_OK, RequestOutcome
+from ..kernels.dispatch import BackendExecutionError, KernelDispatcher
+from ..models.functional import causal_mask
+from ..models.kv_cache import PagedKVCache, prompt_fingerprint
+from ..models.transformer import TransformerEncoder
+
+__all__ = ["DecodeRequest", "DecoderServingEngine", "decode_reference"]
+
+
+@dataclass(frozen=True)
+class DecodeRequest:
+    """One decode job: a prompt and how many positions to generate.
+
+    ``prompt`` is the ``(prompt_tokens, hidden)`` activation sequence that
+    seeds the decode (prompt_tokens >= 1); ``new_tokens`` is how many
+    further positions to generate autoregressively.  The result delivered
+    for the request has shape ``(new_tokens, hidden)``.
+    """
+
+    request_id: str
+    prompt: np.ndarray
+    new_tokens: int
+    arrival_us: float = 0.0
+    deadline_us: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        prompt = np.asarray(self.prompt, dtype=np.float32)
+        if prompt.ndim != 2 or prompt.shape[0] == 0:
+            raise ValueError(
+                f"prompt must be (tokens >= 1, hidden), got {np.shape(self.prompt)}"
+            )
+        if self.new_tokens < 1:
+            raise ValueError(f"new_tokens must be >= 1, got {self.new_tokens}")
+        object.__setattr__(self, "prompt", prompt)
+
+    def as_request(self) -> Request:
+        """The scheduler-facing request (the prompt is what gets bucketed)."""
+        return Request(
+            request_id=self.request_id,
+            activations=self.prompt,
+            arrival_us=self.arrival_us,
+            deadline_us=self.deadline_us,
+        )
+
+
+def decode_reference(
+    encoder: TransformerEncoder, prompt: np.ndarray, new_tokens: int
+) -> np.ndarray:
+    """Cache-free decoding: full causal recompute of the sequence every step.
+
+    The reference sibling of :class:`DecoderServingEngine`'s cached path
+    (and the slow side of the decoder bench): step ``i`` re-runs the whole
+    sequence so far — prompt plus every generated row — through
+    ``encoder.forward`` under :func:`~repro.models.functional.causal_mask`
+    and takes the final position's output as the next generated row.
+    Returns the ``(new_tokens, hidden)`` stack of generated rows,
+    bit-for-bit what the KV-cached engine delivers.
+    """
+    prompt = np.asarray(prompt, dtype=np.float32)
+    if prompt.ndim != 2 or prompt.shape[0] == 0:
+        raise ValueError(f"prompt must be (tokens >= 1, hidden), got {prompt.shape}")
+    if new_tokens < 1:
+        raise ValueError(f"new_tokens must be >= 1, got {new_tokens}")
+    xs = prompt
+    out = encoder.forward(xs[None], attention_mask=causal_mask(xs.shape[0]))[0]
+    feed = out[-1]
+    generated: List[np.ndarray] = []
+    for _ in range(new_tokens):
+        xs = np.concatenate([xs, feed[None]], axis=0)
+        out = encoder.forward(xs[None], attention_mask=causal_mask(xs.shape[0]))[0]
+        feed = out[-1]
+        generated.append(feed)
+    return np.stack(generated)
+
+
+@dataclass
+class _Resident:
+    """One in-flight decode: rung slot held, KV sequence live."""
+
+    request: Request
+    key: BucketKey
+    new_tokens: int
+    #: The next step's input row, ``(1, hidden)`` — the prompt's final
+    #: output after prefill, then each step's own output.
+    feed: np.ndarray
+    #: The sequence's paged-cache handle (``extend``/``view``).
+    handle: object
+    generated: List[np.ndarray] = field(default_factory=list)
+
+
+class DecoderServingEngine(OutcomeTrackingMixin):
+    """Continuous-batching decode server over one shared paged KV cache.
+
+    Drive it like the other continuous engines — ``submit`` between steps,
+    ``step(now_us)`` in a loop, or :meth:`serve_continuous` /
+    :meth:`serve` to replay a whole request set — but submissions are
+    :class:`DecodeRequest`\\ s and a request spans many steps:
+
+    * a ``step`` first admits newly schedulable prompts (at most one
+      micro-batch, exactly the single-step policy), prefilling each into
+      the paged cache (or attaching to a registered prefix — see below)
+      and pinning its rung slot;
+    * then every *previously admitted* resident advances by one token;
+      residents that reach their ``new_tokens`` complete, free their KV
+      blocks and return their slot and KV-budget reservation.  The step
+      returns the completed requests' ``(new_tokens, hidden)`` outputs.
+
+    Prefix sharing: requests submitted with a byte-identical prompt share
+    the prompt's cache blocks.  The first registers them (plus the
+    prompt's final-position output) under the prompt's fingerprint; later
+    ones attach and skip prefill entirely, and copy-on-write keeps their
+    divergent decode tails isolated.  Because cached decode equals full
+    recompute bit for bit, sharers' outputs are unchanged by the sharing —
+    only ``cache_stats()['prefix_hits']`` tells them apart.
+
+    A backend failure mid-prefill or mid-decode fails only that request
+    (``outcomes`` records it; its blocks, slot and budget return
+    immediately); batchmates advance undisturbed, bits intact, because
+    residents never share mutable state — shared prefix blocks are
+    copy-on-write.
+
+    Parameters
+    ----------
+    encoder:
+        The model decoded with.  Its sparse projections are re-routed
+        through this engine's dispatcher.
+    batcher:
+        A :class:`~repro.serving.continuous.ContinuousBatcher` (default: a
+        fresh ladder).  When ``kv_budget_blocks`` is set and no batcher is
+        given, the default batcher is built with that budget and a cost
+        function of ``ceil((prompt + new_tokens) / block_size)`` blocks.
+    block_size / capacity_blocks:
+        The shared :class:`~repro.models.kv_cache.PagedKVCache` geometry.
+    kv_budget_blocks:
+        Optional admission-level KV budget (see
+        :class:`~repro.serving.continuous.ContinuousBatcher`).
+    """
+
+    def __init__(
+        self,
+        encoder: TransformerEncoder,
+        batcher: Optional[ContinuousBatcher] = None,
+        dispatcher: Optional[KernelDispatcher] = None,
+        block_size: int = 16,
+        capacity_blocks: int = 512,
+        kv_budget_blocks: Optional[int] = None,
+        warm: bool = True,
+        name: str = "decoder-serving",
+    ) -> None:
+        if not isinstance(encoder, TransformerEncoder):
+            raise TypeError("encoder must be a TransformerEncoder")
+        self.encoder = encoder
+        self.hidden_size = encoder.config.hidden_size
+        self.name = name
+        self.dispatcher = (
+            dispatcher if dispatcher is not None else KernelDispatcher(name=f"{name}.dispatcher")
+        )
+        encoder.set_dispatcher(self.dispatcher)
+        self.kv = PagedKVCache(
+            num_layers=len(encoder.layers),
+            num_heads=encoder.config.num_heads,
+            head_dim=encoder.config.head_dim,
+            block_size=block_size,
+            capacity_blocks=capacity_blocks,
+        )
+        if batcher is not None:
+            self.batcher = batcher
+        else:
+            self.batcher = ContinuousBatcher.ladder(
+                kv_budget_blocks=kv_budget_blocks, kv_cost=self._default_kv_cost
+            )
+        #: new_tokens per submitted request (alive until the request retires).
+        self._new_tokens: Dict[str, int] = {}
+        #: in-flight decodes, in admission order (the advance order).
+        self._residents: Dict[str, _Resident] = {}
+        self.total_requests = 0
+        self.total_decode_steps = 0
+        self.prefills = 0
+        self.prefills_skipped = 0
+        #: Continuous-serving bookkeeping (same schema as the other engines).
+        self.steps_executed = 0
+        self.completions: Dict[str, CompletionRecord] = {}
+        #: Per-request terminal states (ok / failed / timed_out / shed).
+        self.outcomes: Dict[str, RequestOutcome] = {}
+        if warm:
+            self.dispatcher.warm_many(
+                [lin.operand for _, lin in encoder.named_sparse_layers()], cs=(1,)
+            )
+
+    # ------------------------------------------------------------------
+    # Request intake
+    # ------------------------------------------------------------------
+    def _default_kv_cost(self, request: Request) -> int:
+        """Projected block footprint: the whole sequence, prompt + decode."""
+        total = request.tokens + self._new_tokens.get(request.request_id, 1)
+        return -(-total // self.kv.block_size)
+
+    def submit(self, request: DecodeRequest) -> Optional[BucketKey]:
+        """Queue one decode job; returns its rung (``None`` when shed)."""
+        if not isinstance(request, DecodeRequest):
+            raise TypeError("submit expects a DecodeRequest")
+        if request.prompt.shape[1] != self.hidden_size:
+            raise ValueError(
+                f"{self.name}: request {request.request_id!r} has feature width "
+                f"{request.prompt.shape[1]}, but the encoder's hidden size is "
+                f"{self.hidden_size}; submit prompts of shape (tokens, {self.hidden_size})"
+            )
+        inner = request.as_request()
+        # The cost function reads new_tokens at admission time, so the
+        # mapping must exist before the batcher sees the request.
+        self._new_tokens[inner.request_id] = request.new_tokens
+        try:
+            key = self.batcher.submit(inner)
+        except Exception:
+            del self._new_tokens[inner.request_id]
+            raise
+        if key is None:  # shed at admission; outcome lands via take_shed()
+            del self._new_tokens[inner.request_id]
+        return key
+
+    # ------------------------------------------------------------------
+    # The multi-step loop
+    # ------------------------------------------------------------------
+    def step(self, now_us: float) -> Dict[str, np.ndarray]:
+        """Admit at most one micro-batch, then advance every resident.
+
+        Newly admitted requests prefill this step and start decoding on
+        the *next* one (prefill writes their prompt positions; decode
+        appends generated positions).  Returns the requests completed at
+        this step: ``{request_id: (new_tokens, hidden)}``.
+        """
+        next_batch = getattr(self.batcher, "next_batch", None)
+        if next_batch is None:
+            raise TypeError(
+                "DecoderServingEngine needs a step-schedulable batcher "
+                "(ContinuousBatcher.ladder() / ContinuousBatcher.exact_length())"
+            )
+        self._drain_admission()
+        self._expire_pending(now_us)
+        step_index = self.steps_executed
+        batch = next_batch(now_us)
+        newly: List[_Resident] = []
+        if batch is not None:
+            for req in batch.requests:
+                resident = self._admit_resident(req, batch.key, now_us)
+                if resident is not None:
+                    newly.append(resident)
+        results = self._advance_residents(now_us, step_index)
+        for resident in newly:
+            self._residents[resident.request.request_id] = resident
+        if batch is not None and step_index == self.steps_executed:
+            # _advance_residents counts itself; an admission-only step
+            # (prefill, nothing yet decoding) is still executed work.
+            self.steps_executed += 1
+        return results
+
+    def _admit_resident(
+        self, req: Request, key: BucketKey, now_us: float
+    ) -> Optional[_Resident]:
+        """Prefill (or prefix-attach) one popped request; pin its rung slot."""
+        rid = req.request_id
+        new_tokens = self._new_tokens.get(rid)
+        if new_tokens is None:
+            raise ValueError(
+                f"{self.name}: request {rid!r} was queued without a decode length; "
+                f"submit DecodeRequests through DecoderServingEngine.submit()"
+            )
+        handle = self.kv.create(rid)
+        fingerprint = prompt_fingerprint(req.activations)
+        try:
+            entry = self.kv.attach_prefix(fingerprint, rid)
+            if entry is not None:
+                # Shared prompt: blocks attached, prefill skipped outright;
+                # decoding seeds from the registered final-position output.
+                feed = np.array(entry.last_output, dtype=np.float32, copy=True)
+                self.prefills_skipped += 1
+            else:
+                for t in range(req.tokens):
+                    feed = self.encoder.forward_step(req.activations[t][None], handle)
+                self.kv.register_prefix(fingerprint, rid, feed)
+                self.prefills += 1
+        except BackendExecutionError as exc:
+            self.kv.free(rid)
+            self.batcher.release_kv(rid)
+            self._new_tokens.pop(rid, None)
+            self._record_outcome(rid, OUTCOME_FAILED, str(exc), now_us)
+            return None
+        self.batcher.acquire_slot(key)
+        self.total_requests += 1
+        return _Resident(
+            request=req, key=key, new_tokens=new_tokens, feed=feed, handle=handle
+        )
+
+    def _advance_residents(self, now_us: float, step_index: int) -> Dict[str, np.ndarray]:
+        """One decode token for every resident; returns the completions."""
+        if not self._residents:
+            return {}
+        advancing = list(self._residents.values())
+        batch_size = len(advancing)
+        results: Dict[str, np.ndarray] = {}
+        for resident in advancing:
+            rid = resident.request.request_id
+            try:
+                out = self.encoder.forward_step(resident.feed, resident.handle)
+            except BackendExecutionError as exc:
+                self._retire(resident, OUTCOME_FAILED, str(exc), now_us)
+                continue
+            resident.feed = out
+            resident.generated.append(out[0].copy())
+            self.total_decode_steps += 1
+            if len(resident.generated) == resident.new_tokens:
+                results[rid] = np.stack(resident.generated)
+                self._retire(resident, OUTCOME_OK, "", now_us)
+                self.completions[rid] = CompletionRecord(
+                    request_id=rid,
+                    step=step_index,
+                    completed_us=float(now_us),
+                    rung=resident.key.token_bucket,
+                    batch_size=batch_size,
+                    arrival_us=resident.request.arrival_us,
+                )
+        self.steps_executed += 1
+        return results
+
+    def _retire(
+        self, resident: _Resident, status: str, detail: str, now_us: float
+    ) -> None:
+        """Tear one resident down: blocks, rung slot, budget, outcome."""
+        rid = resident.request.request_id
+        del self._residents[rid]
+        self.kv.free(rid)
+        self.batcher.release_slot(resident.key)
+        self.batcher.release_kv(rid)
+        self._new_tokens.pop(rid, None)
+        self._record_outcome(rid, status, detail, now_us)
+
+    # ------------------------------------------------------------------
+    # Replay drivers
+    # ------------------------------------------------------------------
+    def serve_continuous(
+        self, requests: Iterable[DecodeRequest], step_us: float = 0.0
+    ) -> Dict[str, np.ndarray]:
+        """Replay decode jobs against their arrival clock through the step loop.
+
+        Same clock discipline as the single-step engines' driver — each
+        iteration admits every request arrived by ``now``, runs one
+        :meth:`step`, advances the clock by ``step_us`` after a step that
+        did work and jumps to the next arrival otherwise — but the loop
+        also runs while *residents* are still decoding, since a decode
+        outlives the step that admitted it.
+        """
+        if step_us < 0:
+            raise ValueError("step_us must be non-negative")
+        queue = sorted(requests, key=lambda r: (r.arrival_us, r.request_id))
+        results: Dict[str, np.ndarray] = {}
+        now = queue[0].arrival_us if queue else 0.0
+        admitted = 0
+        while admitted < len(queue) or self.batcher.pending or self._residents:
+            while admitted < len(queue) and queue[admitted].arrival_us <= now:
+                self.submit(queue[admitted])
+                admitted += 1
+            before = self.steps_executed
+            results.update(self.step(now))
+            if self.steps_executed != before:
+                now += step_us
+            else:
+                upcoming = [
+                    t
+                    for t in (
+                        queue[admitted].arrival_us if admitted < len(queue) else None,
+                        self.batcher.next_event_us(),
+                    )
+                    if t is not None
+                ]
+                if not upcoming:
+                    break
+                now = max(now, min(upcoming))
+        return results
+
+    def serve(self, requests: Iterable[DecodeRequest]) -> Dict[str, np.ndarray]:
+        """Convenience: replay a whole window back to back (``step_us=0``)."""
+        return self.serve_continuous(requests)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def cache_stats(self) -> Dict[str, int]:
+        """The shared paged cache's block-table accounting."""
+        return self.kv.cache_stats()
+
+    def stats(self) -> Dict[str, object]:
+        """Counters, normalized admission/continuous schemas, cache accounting."""
+        return {
+            "requests": self.total_requests,
+            "decode_steps": self.total_decode_steps,
+            "prefills": self.prefills,
+            "prefills_skipped": self.prefills_skipped,
+            "residents": len(self._residents),
+            "continuous": continuous_stats_of(self),
+            "outcomes": self.outcome_stats(),
+            "dispatch_health": self.dispatcher.health_stats(),
+            "admission": admission_stats_of(self.batcher),
+            "cache": self.cache_stats(),
+        }

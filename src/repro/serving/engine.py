@@ -47,6 +47,42 @@ from ..kernels.dispatch import (
 )
 
 
+def admission_stats_of(batcher) -> Dict[str, object]:
+    """The batcher's admission counters, normalized to one schema.
+
+    Engines' ``stats()['admission']`` always carries these keys: batchers
+    without admission control (plain :class:`ShapeBucketBatcher`, async
+    windows) report zeroed counters with ``shed_policy: None`` rather than
+    the key going missing — consumers keyed on ``stats()['admission']``
+    must not break when the serving policy changes underneath them.
+    """
+    stats_fn = getattr(batcher, "admission_stats", None)
+    if stats_fn is not None:
+        return stats_fn()
+    return {
+        "max_queue_depth": None,
+        "shed_policy": None,
+        "shed": 0,
+        "expired": 0,
+        "pending": getattr(batcher, "pending", 0),
+        "kv_budget_blocks": None,
+        "kv_reserved": 0,
+        "occupied_slots": 0,
+    }
+
+
+def continuous_stats_of(engine) -> Dict[str, object]:
+    """The step-loop counters every engine's ``stats()['continuous']`` emits.
+
+    Same normalization contract as :func:`admission_stats_of`: the key is
+    always present with the same schema, zeroed when the engine has never
+    stepped."""
+    return {
+        "steps": getattr(engine, "steps_executed", 0),
+        "completions": len(getattr(engine, "completions", ())),
+    }
+
+
 class StackBufferPool:
     """Reusable float32 stacking buffers, keyed by exact shape.
 
@@ -528,17 +564,10 @@ class ServingEngine(OutcomeTrackingMixin, AsyncDriverMixin, ContinuousDriverMixi
             "mean_batch_size": (self.total_requests / self.total_batches)
             if self.total_batches
             else 0.0,
-            "continuous": {
-                "steps": self.steps_executed,
-                "completions": len(self.completions),
-            },
+            "continuous": continuous_stats_of(self),
             "outcomes": self.outcome_stats(),
             "dispatch_health": self.dispatcher.health_stats(),
-            "admission": (
-                self.batcher.admission_stats()
-                if hasattr(self.batcher, "admission_stats")
-                else None
-            ),
+            "admission": admission_stats_of(self.batcher),
             "modelled_kernel_time_us": self.trace.total_time_us,
             "trace": self.trace.summary(),
         }

@@ -66,6 +66,8 @@ from .engine import (
     ContinuousDriverMixin,
     OutcomeTrackingMixin,
     StackBufferPool,
+    admission_stats_of,
+    continuous_stats_of,
 )
 from .faults import RequestOutcome
 from ..hardware.trace import ExecutionTrace
@@ -389,17 +391,10 @@ class ModelServingEngine(OutcomeTrackingMixin, AsyncDriverMixin, ContinuousDrive
                 if self.total_padded_tokens
                 else 0.0,
             },
-            "continuous": {
-                "steps": self.steps_executed,
-                "completions": len(self.completions),
-            },
+            "continuous": continuous_stats_of(self),
             "outcomes": self.outcome_stats(),
             "dispatch_health": self.dispatcher.health_stats(),
-            "admission": (
-                self.batcher.admission_stats()
-                if hasattr(self.batcher, "admission_stats")
-                else None
-            ),
+            "admission": admission_stats_of(self.batcher),
             "sparse_projections": len(self._sparse_layers()),
             "plan_cache": {
                 "size": len(self.plans),

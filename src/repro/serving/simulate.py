@@ -160,19 +160,25 @@ class ServingSimReport:
     @property
     def p95_latency_us(self) -> float:
         values = list(self.latencies_us.values())
-        return float(np.percentile(values, 95)) if values else 0.0
+        return float(np.percentile(values, 95)) if values else float("nan")
 
     @property
     def p99_latency_us(self) -> float:
-        """Tail completion latency — the metric continuous batching targets."""
+        """Tail completion latency — the metric continuous batching targets.
+
+        ``NaN`` when no request completed: an empty run has *no data*, not a
+        zero-microsecond tail — ``0.0`` here once let empty chaos runs sail
+        through latency floors (``tools/check_bench_trend.py`` now treats
+        NaN as "no data" and warns instead of passing).
+        """
         values = list(self.latencies_us.values())
-        return float(np.percentile(values, 99)) if values else 0.0
+        return float(np.percentile(values, 99)) if values else float("nan")
 
     @property
     def p999_latency_us(self) -> float:
         """Extreme-tail completion latency (ROADMAP item 3 asks for p999)."""
         values = list(self.latencies_us.values())
-        return float(np.percentile(values, 99.9)) if values else 0.0
+        return float(np.percentile(values, 99.9)) if values else float("nan")
 
     @property
     def kernel_time_us(self) -> float:
@@ -489,8 +495,11 @@ class ChaosSimReport:
         return self.counts()[OUTCOME_SHED] / self.num_requests if self.num_requests else 0.0
 
     def _percentile(self, q: float) -> float:
+        # NaN, not 0.0, on empty samples: "nothing completed" must never be
+        # reportable as "zero latency" (the bench-trend gate skips NaN with
+        # a warning instead of treating it as a passing floor).
         values = list(self.latencies_us.values())
-        return float(np.percentile(values, q)) if values else 0.0
+        return float(np.percentile(values, q)) if values else float("nan")
 
     @property
     def p50_latency_us(self) -> float:

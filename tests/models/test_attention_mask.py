@@ -12,8 +12,10 @@ each pinned here below the serving layer so a failure localises:
     out bit-for-bit the unpadded forward.
 
 Plus the structural piece the guarantees hang off: right-padding masks are
-recognised (and anything else — causal, ALiBi-like biases, scattered
-``-inf`` — is not, and falls back to the general masked path).
+recognised, causal masks route to the per-position bit-exact path (the one
+KV-cached decoding replays — see ``TestCausalMasking``), and anything else
+— ALiBi-like biases, scattered ``-inf`` — falls back to the general masked
+path.
 """
 
 import numpy as np
@@ -21,10 +23,14 @@ import pytest
 
 from repro.integration import VNMSparsifier, sparsify_encoder
 from repro.models import TransformerEncoder, tiny_config
+from repro.models import LayerKV
 from repro.models.functional import (
     attention_scores,
+    causal_mask,
+    mask_is_causal,
     mask_valid_lengths,
     padding_mask,
+    resolve_padding_lengths,
     softmax,
 )
 from repro.serving import Request, ShapeBucketBatcher
@@ -87,7 +93,7 @@ class TestMaskHelpers:
         assert np.array_equal(hooked, encoder.forward(hidden, attention_mask=mask))
 
     def test_non_padding_masks_are_not_misread(self):
-        # Causal: per-query structure, must use the general path (and a 2-D
+        # Causal: per-query structure, never a per-sequence prefix (a 2-D
         # mask broadcasts as (seq_q, seq_k), never as (batch, seq_k)).
         causal = np.triu(np.full((5, 5), -np.inf, dtype=np.float32), k=1)
         assert mask_valid_lengths(causal) is None
@@ -209,8 +215,8 @@ class TestMaskedForwardBitExactness:
             assert np.array_equal(out[i, : len(seq)], encoder.forward(seq[None])[0])
 
     def test_general_mask_matches_reference_computation(self, rng):
-        """The non-prefix fallback: causal masking agrees with a per-row
-        reference softmax over the allowed keys."""
+        """Causal masking (now the per-position path) still agrees with a
+        per-row reference softmax over the allowed keys."""
         attention = make_encoder(sparse=False).layers[0].attention
         hidden = rng.normal(size=(2, 5, HIDDEN)).astype(np.float32)
         causal = np.triu(np.full((5, 5), -np.inf, dtype=np.float32), k=1)
@@ -222,6 +228,104 @@ class TestMaskedForwardBitExactness:
             ref = ref / ref.sum(axis=-1, keepdims=True)
             assert np.allclose(probs[..., i, : i + 1], ref, atol=1e-6)
             assert np.all(probs[..., i, i + 1 :] == 0.0)
+
+
+class TestCausalMasking:
+    """The causal family: helper structure, softmax row-sum guarantees, the
+    per-position path's bits, and the staircase-misclassification guard."""
+
+    def test_causal_mask_structure(self):
+        mask = causal_mask(4)
+        assert mask.shape == (4, 4) and mask.dtype == np.float32
+        assert np.all(mask[np.tril_indices(4)] == 0.0)
+        assert np.all(np.isneginf(mask[np.triu_indices(4, k=1)]))
+        assert mask_is_causal(mask)
+        assert mask_is_causal(causal_mask(1))
+        with pytest.raises(ValueError):
+            causal_mask(0)
+
+    def test_mask_is_causal_rejects_non_causal(self):
+        assert not mask_is_causal(padding_mask([2, 3], 3))
+        almost = causal_mask(4).copy()
+        almost[0, 3] = 0.0  # a future key leaks in
+        assert not mask_is_causal(almost)
+        assert not mask_is_causal(np.zeros((3, 3), np.float32))  # no mask at all
+
+    def test_causal_softmax_row_sums(self, rng):
+        """Every query row's weights are a true distribution: the single-key
+        first row sums to EXACTLY 1.0 (exp(0)/1 — no rounding enters), no
+        row is ever all-zero (a fully-masked sentinel would decode garbage
+        silently), and multi-key rows sum to 1 within float32 rounding."""
+        x = (rng.normal(size=(2, 4, 9, 9)) * 10.0).astype(np.float32)
+        probs = softmax(x, mask=causal_mask(9))
+        sums = probs.sum(axis=-1)
+        assert np.all(sums[..., 0] == 1.0)  # step 1 attends only to itself
+        assert np.all(sums > 0.0)  # no all-zero (fully-masked) rows, ever
+        assert np.allclose(sums, 1.0, atol=1e-6)
+
+    def test_causal_attention_probs_row_sums_at_every_step(self, rng):
+        attention = make_encoder().layers[0].attention
+        hidden = rng.normal(size=(2, 7, HIDDEN)).astype(np.float32)
+        _, probs = attention.forward(hidden, return_probs=True, mask=causal_mask(7))
+        for t in range(7):
+            row = probs[:, :, t, : t + 1]
+            if t == 0:
+                assert np.all(row.sum(axis=-1) == 1.0)  # exact, not approx
+            assert np.all(row.sum(axis=-1) > 0.0)
+            assert np.allclose(row.sum(axis=-1), 1.0, atol=1e-6)
+            assert np.all(probs[:, :, t, t + 1 :] == 0.0)  # future keys: exact 0
+
+    def test_forward_step_first_row_sums_exactly_one(self, rng):
+        """The decode-side statement of the same fact: step 1 of a fresh
+        sequence attends to itself alone, weight exactly 1.0."""
+        attention = make_encoder().layers[0].attention
+        kv = LayerKV()
+        token = rng.normal(size=(1, HIDDEN)).astype(np.float32)
+        _, probs = attention.forward_step(token, kv, return_probs=True)
+        assert probs.shape == (4, 1)
+        assert np.all(probs == 1.0)
+        _, probs2 = attention.forward_step(token, kv, return_probs=True)
+        assert probs2.shape == (4, 2)
+        assert np.all(probs2.sum(axis=-1) > 0.0)
+        assert np.allclose(probs2.sum(axis=-1), 1.0, atol=1e-6)
+
+    def test_causal_path_equals_forward_step_bits(self, rng):
+        """The causal forward IS the per-position decode loop: running the
+        positions through forward_step against a scratch cache reproduces
+        the masked forward bit for bit."""
+        attention = make_encoder(num_layers=1).layers[0].attention
+        hidden = rng.normal(size=(1, 6, HIDDEN)).astype(np.float32)
+        full = attention.forward(hidden, mask=causal_mask(6))
+        kv = LayerKV()
+        stepped = np.concatenate(
+            [attention.forward_step(hidden[0, t], kv) for t in range(6)]
+        )
+        assert np.array_equal(full[0], stepped)
+
+    def test_staircase_mask_is_rejected_not_misclassified(self, rng):
+        """A causal mask reshaped to (S, 1, 1, S) is byte-identical to a
+        right-padding mask for lengths 1..S.  Misreading it as padding
+        would compute per-sequence prefixes instead of per-query ones, so
+        the resolver refuses loudly."""
+        staircase = np.stack(
+            [padding_mask([t + 1], 5)[0] for t in range(5)]
+        )  # (5, 1, 1, 5), lengths 1..5
+        hidden = rng.normal(size=(5, 5, HIDDEN)).astype(np.float32)
+        assert mask_valid_lengths(staircase) is not None  # structurally padding
+        with pytest.raises(ValueError, match="causal staircase"):
+            resolve_padding_lengths(staircase, hidden)
+        with pytest.raises(ValueError, match="causal staircase"):
+            make_encoder().forward(hidden, attention_mask=staircase)
+        # A genuine staircase batch must use explicit grouping or the 2-D
+        # causal mask — but non-staircase padded batches still resolve.
+        ok = padding_mask([2, 5, 3], 5)
+        assert resolve_padding_lengths(ok, rng.normal(size=(3, 5, HIDDEN)).astype(np.float32)) is not None
+
+    def test_causal_mask_width_mismatch_fails_loudly(self, rng):
+        encoder = make_encoder()
+        hidden = rng.normal(size=(1, 4, HIDDEN)).astype(np.float32)
+        with pytest.raises(ValueError, match="causal mask covers 6 key positions"):
+            encoder.layers[0].attention.forward(hidden, mask=causal_mask(6))
 
 
 class TestLadderRoundTrip:

@@ -16,6 +16,7 @@ import pytest
 from repro.integration import VNMSparsifier, sparsify_encoder
 from repro.kernels.dispatch import SpmmOperand
 from repro.models import TransformerEncoder, tiny_config
+from repro.serving.continuous import _bucket_rank
 from repro.serving import (
     ContinuousBatcher,
     ModelServingEngine,
@@ -312,12 +313,58 @@ class TestIncrementalSchedulerState:
                     ]
                     for r in batch.requests:
                         mirror.pop(r.request_id)
+                # The incremental key order never drifts from the bucket
+                # map, through every creation/drain the schedule causes.
+                assert batcher._sorted_keys == sorted(
+                    batcher._buckets, key=_bucket_rank
+                )
                 if batch is None and i < len(reqs):
                     now = max(now + cadence, reqs[i].arrival_us)
                 else:
                     now += cadence
             assert steps < 10_000, "scheduler failed to drain the schedule"
             assert not mirror and batcher.pending == 0
+
+    def test_sorted_keys_track_bucket_churn(self, rng):
+        """Bucket creation/destruction churn: lengths spanning many rungs,
+        drained one chunk at a time so buckets are born and die constantly.
+        The incrementally maintained key order must equal a fresh sort at
+        every point, and :meth:`arrived` must report the same requests in
+        the same order as a scratch recomputation from the bucket map."""
+        batcher = ContinuousBatcher.ladder(max_batch_size=2)
+        n = 60
+        lengths = (np.arange(n) % 70) + 1  # rungs 8/16/32/64 + exact tails
+        arrivals = np.sort(rng.uniform(0.0, 500.0, size=n))
+        reqs = [
+            Request(
+                f"churn-{i:04d}",
+                rng.normal(size=(int(t), HIDDEN)).astype(np.float32),
+                arrival_us=float(a),
+            )
+            for i, (t, a) in enumerate(zip(lengths, arrivals))
+        ]
+
+        def check_invariants(now):
+            assert batcher._sorted_keys == sorted(batcher._buckets, key=_bucket_rank)
+            expected = []
+            for key in sorted(batcher._buckets, key=_bucket_rank):
+                expected.extend(
+                    r for r in batcher._buckets[key] if r.arrival_us <= now
+                )
+            got = batcher.arrived(now)
+            assert [r.request_id for r in got] == [r.request_id for r in expected]
+
+        i, now = 0, 0.0
+        while i < len(reqs) or batcher.pending:
+            while i < len(reqs) and reqs[i].arrival_us <= now:
+                batcher.submit(reqs[i])
+                i += 1
+                check_invariants(now)  # after every bucket creation
+            if batcher.next_batch(now) is None and i < len(reqs):
+                now = reqs[i].arrival_us
+            check_invariants(now)  # after every chunk (bucket drains)
+            now += 13.0
+        assert batcher._sorted_keys == [] and batcher._buckets == {}
 
 
 class TestContinuousServingBitExactness:

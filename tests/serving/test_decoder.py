@@ -1,0 +1,373 @@
+"""Decoder serving: the cached-vs-recompute golden matrix and KV accounting.
+
+The guarantee under test is the decode analogue of the serving property:
+KV-cached decoding through :class:`DecoderServingEngine` is **bit-for-bit**
+the full causal recompute (:func:`decode_reference`) at every generated
+position — across arrival interleavings, step cadences, exact/ladder bucket
+policies, layer counts and prompt lengths.  The full grid runs ``slow``;
+a four-cell smoke stays in tier-1.
+
+The rest pins the serving mechanics the cache adds: prefix sharing (same
+bits, skipped prefill, copy-on-write isolation), rung occupancy across
+multi-step residents, the KV-memory admission budget, block reclamation,
+and the normalized ``stats()`` schema shared with the other engines.
+"""
+
+import numpy as np
+import pytest
+
+from repro.integration import VNMSparsifier, sparsify_encoder
+from repro.models import TransformerEncoder, tiny_config
+from repro.serving import (
+    ContinuousBatcher,
+    DecodeRequest,
+    DecoderServingEngine,
+    Request,
+    ShapeBucketBatcher,
+    decode_reference,
+)
+
+HIDDEN = 64
+
+
+def make_encoder(num_layers=1, seed=0):
+    cfg = tiny_config(
+        hidden_size=HIDDEN, num_layers=num_layers, num_heads=4, intermediate_size=128
+    )
+    encoder = TransformerEncoder.init(cfg, seed=seed)
+    sparsify_encoder(encoder, VNMSparsifier(n=2, m=8, v=16))
+    return encoder
+
+
+def make_decode_requests(rng, prompt_lengths, new_tokens, arrivals):
+    return [
+        DecodeRequest(
+            f"dec-{i:04d}",
+            rng.normal(size=(p, HIDDEN)).astype(np.float32),
+            new_tokens=n,
+            arrival_us=a,
+        )
+        for i, (p, n, a) in enumerate(zip(prompt_lengths, new_tokens, arrivals))
+    ]
+
+
+def decoder_engine(encoder, padding="ladder", **kwargs):
+    batcher = (
+        ContinuousBatcher.ladder()
+        if padding == "ladder"
+        else ContinuousBatcher.exact_length()
+    )
+    return DecoderServingEngine(encoder, batcher=batcher, **kwargs)
+
+
+def arrivals_for(pattern, n):
+    if pattern == "together":
+        return [0.0] * n
+    if pattern == "staggered":
+        return [3.0 * i for i in range(n)]
+    if pattern == "reversed":
+        # Later-submitted ids arrive first: exercises the FCFS tie-breaks.
+        return [3.0 * (n - 1 - i) for i in range(n)]
+    raise ValueError(pattern)
+
+
+def run_golden_cell(rng, padding, num_layers, prompt_lengths, pattern, step_us):
+    """One golden-matrix cell: serve cached, compare against recompute."""
+    encoder = make_encoder(num_layers=num_layers)
+    engine = decoder_engine(encoder, padding=padding, block_size=4, capacity_blocks=256)
+    new_tokens = [3 + (i % 3) for i in range(len(prompt_lengths))]
+    requests = make_decode_requests(
+        rng, prompt_lengths, new_tokens, arrivals_for(pattern, len(prompt_lengths))
+    )
+    results = engine.serve_continuous(requests, step_us=step_us)
+    assert sorted(results) == sorted(r.request_id for r in requests)
+    for req in requests:
+        expected = decode_reference(encoder, req.prompt, req.new_tokens)
+        got = results[req.request_id]
+        assert got.shape == (req.new_tokens, HIDDEN)
+        assert np.array_equal(got, expected), (
+            f"cached decode diverged from full recompute for {req.request_id} "
+            f"(padding={padding}, layers={num_layers}, pattern={pattern}, "
+            f"step_us={step_us})"
+        )
+    # Every decode's blocks were reclaimed; only registered prompt prefixes
+    # keep references alive.
+    stats = engine.cache_stats()
+    assert stats["sequences"] == 0
+    assert engine.batcher.kv_reserved == 0
+    assert sum(engine.batcher._occupancy.values()) == 0
+
+
+#: Tier-1 smoke: four cells spanning both padding modes, both layer counts,
+#: all three arrival patterns and both cadence regimes.
+GOLDEN_SMOKE = [
+    ("ladder", 1, (5, 12), "together", 0.0),
+    ("ladder", 2, (3, 9, 17), "staggered", 7.0),
+    ("exact", 1, (6, 6, 11), "reversed", 0.0),
+    ("exact", 2, (4, 2), "staggered", 3.0),
+]
+
+
+class TestGoldenDecodeMatrix:
+    @pytest.mark.parametrize(
+        "padding,num_layers,prompt_lengths,pattern,step_us", GOLDEN_SMOKE
+    )
+    def test_smoke_cells(self, rng, padding, num_layers, prompt_lengths, pattern, step_us):
+        run_golden_cell(rng, padding, num_layers, prompt_lengths, pattern, step_us)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("padding", ["ladder", "exact"])
+    @pytest.mark.parametrize("num_layers", [1, 2])
+    @pytest.mark.parametrize(
+        "prompt_lengths", [(5,), (5, 12, 30, 7), (2, 2, 9, 9, 17)]
+    )
+    @pytest.mark.parametrize("pattern", ["together", "staggered", "reversed"])
+    @pytest.mark.parametrize("step_us", [0.0, 4.5])
+    def test_full_grid(self, rng, padding, num_layers, prompt_lengths, pattern, step_us):
+        run_golden_cell(rng, padding, num_layers, prompt_lengths, pattern, step_us)
+
+
+class TestPrefixSharing:
+    def test_shared_prompt_skips_prefill_and_keeps_bits(self, rng):
+        encoder = make_encoder(num_layers=2)
+        engine = decoder_engine(encoder, block_size=4, capacity_blocks=128)
+        prompt = rng.normal(size=(9, HIDDEN)).astype(np.float32)
+        requests = [
+            DecodeRequest("owner", prompt, new_tokens=5, arrival_us=0.0),
+            DecodeRequest("sharer-1", prompt.copy(), new_tokens=5, arrival_us=10.0),
+            DecodeRequest("sharer-2", prompt.copy(), new_tokens=3, arrival_us=20.0),
+        ]
+        results = engine.serve_continuous(requests, step_us=5.0)
+        expected = decode_reference(encoder, prompt, 5)
+        # Same prompt => identical generated rows (prefix length permitting),
+        # whether the sequence prefilled or attached to the shared blocks.
+        assert np.array_equal(results["owner"], expected)
+        assert np.array_equal(results["sharer-1"], expected)
+        assert np.array_equal(results["sharer-2"], expected[:3])
+        stats = engine.cache_stats()
+        assert engine.prefills == 1
+        assert engine.prefills_skipped == 2
+        assert stats["prefix_hits"] == 2
+        # The prompt (9 tokens, block_size 4) ends in a partial block: each
+        # sharer's first append copy-on-writes it.  The owner appends into
+        # its own block table after registering (refcount > 1), so it COWs
+        # too — sharing never mutates the registered prefix.
+        assert stats["cow_copies"] == 3
+        assert stats["prefix_entries"] == 1
+        assert stats["sequences"] == 0  # all freed at completion
+
+    def test_distinct_prompts_do_not_share(self, rng):
+        engine = decoder_engine(make_encoder())
+        a = rng.normal(size=(6, HIDDEN)).astype(np.float32)
+        b = a + 1.0
+        engine.serve(
+            [
+                DecodeRequest("pa", a, new_tokens=2),
+                DecodeRequest("pb", b, new_tokens=2),
+            ]
+        )
+        assert engine.prefills == 2
+        assert engine.prefills_skipped == 0
+        assert engine.cache_stats()["prefix_hits"] == 0
+
+
+class TestRungOccupancy:
+    def test_full_rung_defers_but_other_rungs_schedule(self, rng):
+        encoder = make_encoder()
+        engine = DecoderServingEngine(
+            encoder, batcher=ContinuousBatcher.ladder(max_batch_size=1)
+        )
+        a = DecodeRequest("occ-a", rng.normal(size=(5, HIDDEN)).astype(np.float32), 4)
+        b = DecodeRequest("occ-b", rng.normal(size=(6, HIDDEN)).astype(np.float32), 2)
+        c = DecodeRequest("occ-c", rng.normal(size=(40, HIDDEN)).astype(np.float32), 2)
+        for req in (a, b, c):
+            engine.submit(req)
+        key_ab = engine.batcher.bucket_key(a.as_request())
+        assert key_ab == engine.batcher.bucket_key(b.as_request())  # same rung
+        engine.step(0.0)  # admits a (rung slot now held); b must wait
+        assert engine.batcher.occupied_slots(key_ab) == 1
+        assert "occ-a" in engine._residents and "occ-b" not in engine._residents
+        engine.step(0.0)  # a's rung is full, but c's rung is free: c admits
+        assert "occ-c" in engine._residents
+        assert "occ-b" not in engine._residents
+        # Drive to completion: b is admitted only after a's slot frees.
+        results = {}
+        for _ in range(20):
+            results.update(engine.step(0.0))
+            if len(results) == 3:
+                break
+        assert sorted(results) == ["occ-a", "occ-b", "occ-c"]
+        for req in (a, b, c):
+            assert np.array_equal(
+                results[req.request_id],
+                decode_reference(encoder, req.prompt, req.new_tokens),
+            )
+        assert engine.batcher.occupied_slots(key_ab) == 0
+
+    def test_completion_frees_slot_and_kv_reservation(self, rng):
+        engine = DecoderServingEngine(
+            make_encoder(), block_size=4, kv_budget_blocks=64
+        )
+        req = DecodeRequest("free-0", rng.normal(size=(5, HIDDEN)).astype(np.float32), 3)
+        engine.submit(req)
+        assert engine.batcher.kv_reserved == 2  # ceil((5 + 3) / 4)
+        engine.serve_continuous([])  # drains the pre-queued request
+        assert engine.batcher.kv_reserved == 0
+        assert engine.cache_stats()["sequences"] == 0
+        assert engine.outcomes["free-0"].status == "ok"
+
+
+class TestKVBudgetAdmission:
+    def test_budget_sheds_beyond_reserved_blocks(self, rng):
+        engine = DecoderServingEngine(
+            make_encoder(), block_size=4, kv_budget_blocks=3
+        )
+        fits = DecodeRequest("kv-fit", rng.normal(size=(5, HIDDEN)).astype(np.float32), 3)
+        too_big = DecodeRequest(
+            "kv-big", rng.normal(size=(9, HIDDEN)).astype(np.float32), 8
+        )
+        assert engine.submit(fits) is not None  # 2 of 3 blocks reserved
+        assert engine.submit(too_big) is None  # needs ceil(17/4)=5 > 3
+        results = engine.serve_continuous([])
+        assert sorted(results) == ["kv-fit"]
+        assert engine.outcomes["kv-big"].status == "shed"
+        assert engine.stats()["admission"]["shed"] == 1
+        # The shed request never reserved anything; the served one released.
+        assert engine.batcher.kv_reserved == 0
+
+    def test_budget_admits_again_after_release(self, rng):
+        engine = DecoderServingEngine(
+            make_encoder(), block_size=4, kv_budget_blocks=2
+        )
+        first = DecodeRequest("kvr-0", rng.normal(size=(5, HIDDEN)).astype(np.float32), 3)
+        engine.serve([first])  # completes; reservation released
+        later = DecodeRequest("kvr-1", rng.normal(size=(5, HIDDEN)).astype(np.float32), 3)
+        assert engine.submit(later) is not None
+        results = engine.serve_continuous([])
+        assert "kvr-1" in results
+
+
+class TestCacheLifecycle:
+    def test_exhaustion_raises_with_block_accounting(self, rng):
+        engine = DecoderServingEngine(
+            make_encoder(), block_size=2, capacity_blocks=2
+        )
+        engine.submit(
+            DecodeRequest("ex-0", rng.normal(size=(5, HIDDEN)).astype(np.float32), 2)
+        )
+        with pytest.raises(RuntimeError, match="KV cache exhausted"):
+            engine.step(0.0)
+
+    def test_blocks_reclaimed_across_waves(self, rng):
+        """Serving wave after wave reuses the same small pool: peak usage is
+        bounded by the concurrent footprint, not the request count."""
+        engine = DecoderServingEngine(
+            make_encoder(), block_size=4, capacity_blocks=16
+        )
+        for wave in range(4):
+            reqs = [
+                DecodeRequest(
+                    f"wave{wave}-{i}",
+                    np.asarray(
+                        np.linspace(0, 1, 6 * HIDDEN).reshape(6, HIDDEN) + wave + i,
+                        dtype=np.float32,
+                    ),
+                    new_tokens=3,
+                )
+                for i in range(2)
+            ]
+            out = engine.serve(reqs)
+            assert len(out) == 2
+        stats = engine.cache_stats()
+        assert stats["sequences"] == 0
+        assert stats["blocks_in_use"] <= stats["capacity_blocks"]
+        # Prefix entries hold blocks until evicted, but live-sequence usage
+        # always returned to zero between waves.
+        assert engine.batcher.kv_reserved == 0
+
+    def test_prefix_eviction_frees_pool_under_pressure(self, rng):
+        """When the pool runs dry, registered prefixes are evicted LRU to
+        make room for live sequences (the ``evictions`` counter)."""
+        engine = DecoderServingEngine(
+            make_encoder(), block_size=2, capacity_blocks=8
+        )
+        for i in range(4):
+            prompt = rng.normal(size=(4, HIDDEN)).astype(np.float32)
+            engine.serve([DecodeRequest(f"evict-{i}", prompt, new_tokens=2)])
+        stats = engine.cache_stats()
+        assert stats["evictions"] >= 1
+        assert stats["sequences"] == 0
+
+
+class TestDecoderIntakeAndStats:
+    def test_submit_validates_type_and_width(self, rng):
+        engine = DecoderServingEngine(make_encoder())
+        with pytest.raises(TypeError, match="DecodeRequest"):
+            engine.submit(Request("nope", rng.normal(size=(4, HIDDEN)).astype(np.float32)))
+        with pytest.raises(ValueError, match="hidden size"):
+            engine.submit(
+                DecodeRequest("narrow", rng.normal(size=(4, 32)).astype(np.float32), 2)
+            )
+
+    def test_decode_request_validation(self):
+        with pytest.raises(ValueError, match="new_tokens"):
+            DecodeRequest("bad-n", np.zeros((3, HIDDEN), dtype=np.float32), 0)
+        with pytest.raises(ValueError, match="prompt"):
+            DecodeRequest("bad-p", np.zeros((0, HIDDEN), dtype=np.float32), 2)
+
+    def test_step_requires_continuous_batcher(self):
+        engine = DecoderServingEngine(
+            make_encoder(), batcher=ShapeBucketBatcher.ladder()
+        )
+        with pytest.raises(TypeError, match="step-schedulable"):
+            engine.step(0.0)
+
+    def test_direct_batcher_queueing_is_rejected_at_admission(self, rng):
+        engine = DecoderServingEngine(make_encoder())
+        engine.batcher.submit(
+            Request("bypass", rng.normal(size=(4, HIDDEN)).astype(np.float32))
+        )
+        with pytest.raises(ValueError, match="decode length"):
+            engine.step(0.0)
+
+    def test_stats_schema_is_normalized(self, rng):
+        engine = DecoderServingEngine(make_encoder(), kv_budget_blocks=32)
+        engine.serve(
+            [DecodeRequest("st-0", rng.normal(size=(5, HIDDEN)).astype(np.float32), 2)]
+        )
+        stats = engine.stats()
+        assert stats["continuous"]["completions"] == 1
+        assert stats["continuous"]["steps"] == engine.steps_executed
+        admission = stats["admission"]
+        for key in (
+            "max_queue_depth",
+            "shed_policy",
+            "shed",
+            "expired",
+            "pending",
+            "kv_budget_blocks",
+            "kv_reserved",
+            "occupied_slots",
+        ):
+            assert key in admission
+        assert admission["kv_budget_blocks"] == 32
+        assert stats["cache"]["block_size"] == engine.kv.block_size
+        assert stats["outcomes"]["ok"] == 1
+
+    def test_completion_records_are_deterministic(self, rng):
+        def run():
+            engine = decoder_engine(make_encoder())
+            requests = make_decode_requests(
+                rng_local, (5, 12, 5), (3, 2, 4), arrivals_for("staggered", 3)
+            )
+            engine.serve_continuous(requests, step_us=2.0)
+            return {
+                rid: (rec.step, rec.rung, rec.batch_size, rec.completed_us)
+                for rid, rec in engine.completions.items()
+            }
+
+        rng_local = np.random.default_rng(7)
+        first = run()
+        rng_local = np.random.default_rng(7)
+        second = run()
+        assert first == second

@@ -30,6 +30,8 @@ from repro.serving import (
     OUTCOME_SHED,
     OUTCOME_TIMED_OUT,
     ContinuousBatcher,
+    DecodeRequest,
+    DecoderServingEngine,
     FaultInjector,
     FaultPlan,
     FaultSpec,
@@ -38,6 +40,7 @@ from repro.serving import (
     ServingEngine,
     ServingSimReport,
     SimulatedRequest,
+    decode_reference,
     outcome_counts,
     poisson_arrivals,
     simulate_chaos,
@@ -324,6 +327,81 @@ class TestModelEngineUnderFaults:
                 assert outcome.status == OUTCOME_FAILED
                 assert "all candidate backends failed" in outcome.detail
         assert ok_count >= 1
+
+
+class TestDecoderEngineUnderFaults:
+    def _encoder(self, seed=0):
+        cfg = tiny_config(
+            hidden_size=HIDDEN, num_layers=1, num_heads=4, intermediate_size=128
+        )
+        encoder = TransformerEncoder.init(cfg, seed=seed)
+        sparsify_encoder(encoder, VNMSparsifier(n=2, m=8, v=16))
+        return encoder
+
+    def test_survivors_bit_exact_and_kv_blocks_reclaimed(self, rng):
+        """Decoder acceptance under chaos: a backend failure mid-decode fails
+        only that request; survivors' full decoded sequences are bit-for-bit
+        the fault-free :func:`decode_reference`, and every retired request —
+        ok or failed — returns its KV blocks, rung slot, and budget
+        reservation."""
+        prompts = [rng.normal(size=(t, HIDDEN)).astype(np.float32) for t in (5, 9, 9, 17)]
+        baseline_encoder = self._encoder()
+        expected = [decode_reference(baseline_encoder, p, new_tokens=4) for p in prompts]
+
+        engine = DecoderServingEngine(
+            self._encoder(), block_size=4, kv_budget_blocks=64
+        )
+        # A decode touches the dispatcher once per layer per token — dozens
+        # of chances per request to land on an all-backends-faulted call
+        # index, so the rate sits lower than the single-forward model test.
+        plan = FaultPlan.seeded(
+            [b.name for b in engine.dispatcher.backends],
+            seed=FAULT_SEED,
+            failure_rate=0.1,
+        )
+        FaultInjector(plan).arm(engine.dispatcher)
+        requests = [
+            DecodeRequest(f"chaos-{i:04d}", p, new_tokens=4)
+            for i, p in enumerate(prompts)
+        ]
+        results = engine.serve_continuous(requests)
+
+        ok_count = 0
+        for i, req in enumerate(requests):
+            outcome = engine.outcomes[req.request_id]
+            if outcome.ok:
+                ok_count += 1
+                assert np.array_equal(results[req.request_id], expected[i])
+            else:
+                assert outcome.status == OUTCOME_FAILED
+                assert req.request_id not in results
+        assert ok_count >= 1
+        assert engine.stats()["dispatch_health"]["failures"] >= 1
+
+        # Retirement — success or failure — reclaims everything it held.
+        stats = engine.cache_stats()
+        assert stats["sequences"] == 0
+        assert engine.batcher.kv_reserved == 0
+        assert engine.batcher.pending == 0
+        assert engine.stats()["residents"] == 0
+
+    def test_fault_free_decode_replays_identically_under_disarm(self, rng):
+        """Arm-then-disarm restores the unwrapped backends: a decode run
+        after disarm is bit-for-bit a never-armed engine's."""
+        prompt = rng.normal(size=(6, HIDDEN)).astype(np.float32)
+        engine = DecoderServingEngine(self._encoder())
+        injector = FaultInjector(
+            FaultPlan.seeded(
+                [b.name for b in engine.dispatcher.backends],
+                seed=FAULT_SEED,
+                failure_rate=0.25,
+            )
+        )
+        injector.arm(engine.dispatcher)
+        injector.disarm(engine.dispatcher)
+        results = engine.serve([DecodeRequest("calm-0000", prompt, new_tokens=3)])
+        expected = decode_reference(self._encoder(), prompt, new_tokens=3)
+        assert np.array_equal(results["calm-0000"], expected)
 
 
 class TestChaosSimulation:

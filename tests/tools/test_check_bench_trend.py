@@ -5,9 +5,17 @@ and unit-tested here so the gate's semantics are themselves tier-1-tested:
 a ``serving.*`` entry below the floor fails, a >tolerance drop against the
 baseline fails, and the committed ``BENCH_engine.json`` must hold its own
 gates (the record the docs quote cannot document a regression).
+
+NaN is the "no data" sentinel (a latency percentile over zero completed
+requests — see :class:`repro.serving.simulate.ServingSimReport`): both
+sides of that contract are pinned here — empty-sample percentiles return
+NaN rather than a fake 0.0, and the gate *skips* NaN entries with a
+warning instead of letting ``nan < floor`` (always False) wave them
+through.
 """
 
 import json
+import math
 import sys
 from pathlib import Path
 
@@ -99,6 +107,103 @@ class TestBaselineTrend:
     def test_tolerance_validated(self):
         with pytest.raises(ValueError):
             check_trend([], regression_tolerance=1.0)
+
+
+class TestNaNIsNoData:
+    def test_nan_serving_entry_skips_floor_with_warning(self):
+        """``nan < floor`` is False, so without the explicit skip a NaN
+        serving entry would silently *pass* the floor.  It must be skipped
+        and warned about instead — and never counted as a failure."""
+        warnings = []
+        failures = check_trend(
+            [entry("serving.decoder_continuous", "s", float("nan"))],
+            warnings=warnings,
+        )
+        assert failures == []
+        assert len(warnings) == 1
+        assert "NaN" in warnings[0] and "skipped" in warnings[0]
+
+    def test_nan_current_entry_skips_trend_too(self):
+        warnings = []
+        failures = check_trend(
+            [entry("serving.x", "s", float("nan"))],
+            baseline=[entry("serving.x", "s", 2.0)],
+            warnings=warnings,
+        )
+        assert failures == []
+        assert len(warnings) == 1  # one warning covers floor + trend
+
+    def test_nan_baseline_skips_trend_with_warning(self):
+        """A NaN *baseline* would make ``floor = nan * 0.9`` and every
+        comparison against it False — a silently-passing trend check."""
+        warnings = []
+        failures = check_trend(
+            [entry("serving.x", "s", 1.5)],
+            baseline=[entry("serving.x", "s", float("nan"))],
+            warnings=warnings,
+        )
+        assert failures == []
+        assert len(warnings) == 1
+        assert "baseline" in warnings[0] and "NaN" in warnings[0]
+
+    def test_warnings_list_is_optional(self):
+        assert check_trend([entry("serving.x", "s", float("nan"))]) == []
+
+    def test_real_failures_still_fail_alongside_nan_entries(self):
+        warnings = []
+        failures = check_trend(
+            [
+                entry("serving.good", "s", 1.2),
+                entry("serving.empty", "s", float("nan")),
+                entry("serving.bad", "s", 0.5),
+            ],
+            warnings=warnings,
+        )
+        assert len(failures) == 1 and "serving.bad" in failures[0]
+        assert len(warnings) == 1 and "serving.empty" in warnings[0]
+
+    def test_cli_warns_but_exits_zero_on_nan(self, tmp_path, capsys):
+        record = tmp_path / "nan.json"
+        record.write_text(
+            json.dumps({"benchmarks": [entry("serving.x", "s", None)]})
+            .replace("null", "NaN")
+        )
+        assert main([str(record)]) == 0
+        out = capsys.readouterr().out
+        assert "WARN" in out and "NaN" in out
+
+    def test_empty_sample_percentiles_are_nan_not_zero(self):
+        """The producer side of the sentinel: a report with zero completed
+        requests must report NaN percentiles (``0.0`` used to masquerade
+        as an impossibly perfect latency)."""
+        from repro.serving.simulate import ChaosSimReport, ServingSimReport
+
+        report = ServingSimReport(
+            window_us=100.0,
+            num_requests=0,
+            num_batches=0,
+            makespan_us=0.0,
+            latencies_us={},
+        )
+        assert math.isnan(report.p95_latency_us)
+        assert math.isnan(report.p99_latency_us)
+        assert math.isnan(report.p999_latency_us)
+        chaos = ChaosSimReport(
+            seed=0, num_requests=0, makespan_us=0.0, outcomes={}, latencies_us={}
+        )
+        assert math.isnan(chaos.p99_latency_us)
+
+    def test_nonempty_percentiles_unchanged(self):
+        from repro.serving.simulate import ServingSimReport
+
+        report = ServingSimReport(
+            window_us=0.0,
+            num_requests=4,
+            num_batches=4,
+            makespan_us=100.0,
+            latencies_us={f"r{i}": float(i + 1) for i in range(4)},
+        )
+        assert report.p99_latency_us == pytest.approx(3.97)
 
 
 class TestRecordShapes:

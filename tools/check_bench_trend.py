@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
@@ -62,24 +63,48 @@ def _entries(record) -> List[dict]:
     )
 
 
+def _is_nan(value) -> bool:
+    """True when ``value`` is a float NaN (the 'no data' sentinel)."""
+    return isinstance(value, float) and math.isnan(value)
+
+
 def check_trend(
     current,
     baseline=None,
     min_serving_speedup: float = 1.0,
     regression_tolerance: float = 0.10,
+    warnings: Optional[List[str]] = None,
 ) -> List[str]:
-    """All gate violations of ``current`` (empty list == all gates hold)."""
+    """All gate violations of ``current`` (empty list == all gates hold).
+
+    A NaN speedup means "no data" (e.g. a percentile over zero completed
+    requests): such entries must not *pass* a floor by accident — every
+    float comparison against NaN is False, so ``nan < floor`` would wave
+    the entry through silently.  NaN entries are instead skipped outright,
+    with a note appended to ``warnings`` when a list is supplied.  The
+    same applies to a NaN baseline speedup: no trend comparison is
+    fabricated against missing data.
+    """
     if not 0.0 <= regression_tolerance < 1.0:
         raise ValueError(
             f"regression_tolerance must be in [0, 1), got {regression_tolerance}"
         )
     failures: List[str] = []
     current_entries = _entries(current)
+    nan_keys = set()
     for entry in current_entries:
         op, shape = entry.get("op", "?"), entry.get("shape", "?")
         speedup = entry.get("speedup")
         if speedup is None:
             failures.append(f"{op} [{shape}]: entry has no speedup field")
+            continue
+        if _is_nan(speedup):
+            nan_keys.add((op, shape))
+            if warnings is not None:
+                warnings.append(
+                    f"{op} [{shape}]: speedup is NaN (no data) — floor and "
+                    "trend checks skipped"
+                )
             continue
         if (
             op.startswith("serving.")
@@ -97,9 +122,16 @@ def check_trend(
         for entry in current_entries:
             key = (entry.get("op", "?"), entry.get("shape", "?"))
             prior = by_key.get(key)
-            if prior is None or entry.get("speedup") is None:
+            if prior is None or entry.get("speedup") is None or key in nan_keys:
                 continue
             prior_speedup = prior.get("speedup")
+            if _is_nan(prior_speedup):
+                if warnings is not None:
+                    warnings.append(
+                        f"{key[0]} [{key[1]}]: baseline speedup is NaN (no "
+                        "data) — trend check skipped"
+                    )
+                continue
             if not prior_speedup or prior_speedup <= 0:
                 continue
             floor = prior_speedup * (1.0 - regression_tolerance)
@@ -127,12 +159,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--min-serving-speedup", type=float, default=1.0)
     parser.add_argument("--regression-tolerance", type=float, default=0.10)
     args = parser.parse_args(argv)
+    warnings: List[str] = []
     failures = check_trend(
         _load(args.current),
         baseline=_load(args.baseline),
         min_serving_speedup=args.min_serving_speedup,
         regression_tolerance=args.regression_tolerance,
+        warnings=warnings,
     )
+    for warning in warnings:
+        print(f"  WARN {warning}")
     if failures:
         print(f"bench trend gate: {len(failures)} violation(s)")
         for failure in failures:
