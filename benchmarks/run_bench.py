@@ -41,7 +41,9 @@ from repro.serving import (
     FaultPlan,
     ModelServingEngine,
     Request,
+    ServingConfig,
     ServingEngine,
+    ShardingConfig,
     decode_reference,
     outcome_counts,
 )
@@ -382,6 +384,102 @@ def bench_model_serving(entries, hidden, intermediate, num_layers, num_requests,
     entries.append(entry)
 
 
+def bench_model_serving_sharded(
+    entries, hidden, intermediate, num_layers, num_requests, lengths, tp_degree, rng
+):
+    """Sharded serving: batched windows vs per-request forwards, both on a
+    ``tp_degree``-way split encoder.
+
+    The encoder is partitioned across ``tp_degree`` simulated devices by
+    balanced min-cut placement (one kernel dispatcher per shard) and served
+    through the same window loop as ``serving.encoder``; the reference path
+    serves one request per window, the batched path serves the whole window
+    at once, so the measured gap is the dynamic-batching gain *under
+    sharding* and holds the >= 1.0 serving floor by construction.  Sharding
+    itself is bit-neutral — each projection's SpMM runs unsplit on its
+    owning shard — which the entry pins twice: sequential-vs-batched
+    (``bit_exact``) and sharded-vs-single-device twin
+    (``single_device_bit_exact``).  The interconnect cost the placement
+    implies (ring all-reduces into spanning row-parallel projections,
+    send/recv on other cut edges) is modelled, recorded on the trace, and
+    reported as ``modelled_comm_fraction`` of total modelled kernel time.
+    """
+    def build_encoder():
+        cfg = tiny_config(
+            hidden_size=hidden, num_layers=num_layers, num_heads=4,
+            intermediate_size=intermediate,
+        )
+        encoder = TransformerEncoder.init(cfg, seed=0)
+        sparsify_encoder(encoder, VNMSparsifier(n=2, m=8, v=16))
+        return encoder
+
+    engine = ModelServingEngine(
+        build_encoder(),
+        config=ServingConfig(
+            sharding=ShardingConfig(tp_degree=tp_degree), name="bench-sharded"
+        ),
+        warm_buckets=sorted(set(lengths)),
+    )
+    requests = [
+        Request(f"shd-{i:04d}", rng.normal(size=(lengths[i % len(lengths)], hidden)).astype(np.float32))
+        for i in range(num_requests)
+    ]
+
+    def serve_sequential():
+        out = {}
+        for request in requests:
+            out.update(engine.serve([request]))
+        return np.concatenate([out[r.request_id] for r in requests])
+
+    def serve_batched():
+        out = engine.serve(requests)
+        return np.concatenate([out[r.request_id] for r in requests])
+
+    entry = _entry(
+        "serving.encoder_sharded",
+        f"h{hidden}/i{intermediate} L{num_layers} tp{tp_degree} {num_requests}r",
+        serve_sequential,
+        serve_batched,
+        _array_diff,
+    )
+    entry["requests_per_s_sequential"] = round(num_requests / entry["_reference_s_raw"], 1)
+    entry["requests_per_s_batched"] = round(num_requests / entry["_vectorized_s_raw"], 1)
+
+    # Bit-neutrality of the shard split itself: one more (untimed) batched
+    # window against a single-device twin of the same initialisation.
+    twin = build_encoder()
+    twin.set_dispatcher(KernelDispatcher())
+    sharded_out = serve_batched()
+    twin_out = np.concatenate(
+        [twin.forward(r.activations[None])[0] for r in requests]
+    )
+    single_diff = _array_diff(twin_out, sharded_out)
+    entry["single_device_max_abs_diff"] = float(single_diff)
+    entry["single_device_bit_exact"] = bool(single_diff == 0.0)
+
+    stats = engine.stats()
+    sharding = stats["sharding"]
+    total_us = stats["modelled_kernel_time_us"]
+    entry["sharding"] = {
+        "tp_degree": sharding["tp_degree"],
+        "placement_policy": sharding["placement_policy"],
+        "load_balance": sharding["load_balance"],
+        "cut_bytes_per_token": sharding["cut_bytes_per_token"],
+        "comm_time_us": sharding["comm_time_us"],
+        "modelled_comm_fraction": round(sharding["comm_time_us"] / total_us, 4)
+        if total_us > 0
+        else 0.0,
+    }
+    print(
+        f"{'':28s} {'':28s} throughput {entry['requests_per_s_sequential']:9.1f} -> "
+        f"{entry['requests_per_s_batched']:9.1f} req/s  "
+        f"(load balance {sharding['load_balance']:.3f}, modelled comm "
+        f"{entry['sharding']['modelled_comm_fraction'] * 100:.1f}%, "
+        f"single-device {'bit-exact' if entry['single_device_bit_exact'] else 'DIVERGED'})"
+    )
+    entries.append(entry)
+
+
 def bench_model_serving_padded(
     entries, hidden, intermediate, num_layers, num_requests, max_len, rng
 ):
@@ -412,7 +510,7 @@ def bench_model_serving_padded(
         )
         encoder = TransformerEncoder.init(cfg, seed=0)
         sparsify_encoder(encoder, VNMSparsifier(n=2, m=8, v=16))
-        return ModelServingEngine(encoder, padding=padding, name=name)
+        return ModelServingEngine(encoder, config=ServingConfig(padding=padding, name=name))
 
     lengths = [int(t) for t in rng.integers(1, max_len + 1, size=num_requests)]
     requests = [
@@ -500,7 +598,10 @@ def bench_model_serving_continuous(
         )
         encoder = TransformerEncoder.init(cfg, seed=0)
         sparsify_encoder(encoder, VNMSparsifier(n=2, m=8, v=16))
-        return ModelServingEngine(encoder, padding="ladder", batcher=batcher, name=name)
+        return ModelServingEngine(
+            encoder, batcher=batcher,
+            config=ServingConfig(padding="ladder", name=name),
+        )
 
     lengths = [int(t) for t in rng.integers(1, max_len + 1, size=num_requests)]
     requests = [
@@ -637,7 +738,10 @@ def bench_model_serving_faulted(
         encoder = TransformerEncoder.init(cfg, seed=0)
         sparsify_encoder(encoder, VNMSparsifier(n=2, m=8, v=16))
         batcher = ContinuousBatcher.ladder(max_queue_depth=max_queue_depth)
-        return ModelServingEngine(encoder, padding="ladder", batcher=batcher, name=name)
+        return ModelServingEngine(
+            encoder, batcher=batcher,
+            config=ServingConfig(padding="ladder", name=name),
+        )
 
     lengths = [int(t) for t in rng.integers(1, max_len + 1, size=num_requests)]
     payloads = [rng.normal(size=(t, hidden)).astype(np.float32) for t in lengths]
@@ -762,7 +866,7 @@ def bench_decoder_continuous(
     ]
 
     ref_encoder = fresh_encoder()
-    engine = DecoderServingEngine(fresh_encoder(), block_size=16)
+    engine = DecoderServingEngine(fresh_encoder(), config=ServingConfig(block_size=16))
 
     def decode_recompute():
         return np.concatenate(
@@ -835,6 +939,10 @@ def main():
             entries, hidden=64, intermediate=128, num_layers=1,
             num_requests=12, lengths=[8, 8, 16], rng=rng,
         )
+        bench_model_serving_sharded(
+            entries, hidden=64, intermediate=128, num_layers=1,
+            num_requests=12, lengths=[8, 8, 16], tp_degree=2, rng=rng,
+        )
         bench_model_serving_padded(
             entries, hidden=64, intermediate=128, num_layers=1,
             num_requests=24, max_len=24, rng=rng,
@@ -872,6 +980,15 @@ def main():
         bench_model_serving(
             entries, hidden=256, intermediate=1024, num_layers=2,
             num_requests=48, lengths=[8, 8, 8, 16, 16, 32], rng=rng,
+        )
+        # The same serving comparison with the encoder min-cut split across
+        # four simulated devices: the batching gain survives sharding, the
+        # split is bit-neutral against a single-device twin, and the entry
+        # reports per-shard load balance plus the modelled interconnect
+        # share of total kernel time.
+        bench_model_serving_sharded(
+            entries, hidden=256, intermediate=1024, num_layers=2,
+            num_requests=48, lengths=[8, 8, 8, 16, 16, 32], tp_degree=4, rng=rng,
         )
         # Ragged-length traffic (uniform 1..48): exact-length bucketing
         # fragments into near-singleton buckets, the padded ladder refills

@@ -45,7 +45,18 @@ from .occupancy import (
     waves,
 )
 from .roofline import KernelCost, compute_cycles_cuda_core, compute_cycles_tensor_core, roofline_cost
-from .spec import PRESETS, GPUSpec, MemorySpec, a100_sxm, get_gpu, rtx3090
+from .spec import (
+    NVLINK,
+    PCIE4,
+    PRESETS,
+    DeviceGroupSpec,
+    GPUSpec,
+    InterconnectSpec,
+    MemorySpec,
+    a100_sxm,
+    get_gpu,
+    rtx3090,
+)
 from .trace import ExecutionTrace, KernelExecution
 
 __all__ = [
@@ -82,8 +93,12 @@ __all__ = [
     "compute_cycles_cuda_core",
     "compute_cycles_tensor_core",
     "roofline_cost",
+    "NVLINK",
+    "PCIE4",
     "PRESETS",
+    "DeviceGroupSpec",
     "GPUSpec",
+    "InterconnectSpec",
     "MemorySpec",
     "a100_sxm",
     "get_gpu",

@@ -30,6 +30,14 @@ subsystem (the ROADMAP's "heavy traffic" direction):
   :class:`~repro.models.kv_cache.PagedKVCache` (block tables, prefix
   sharing, copy-on-write); cached decoding is bit-for-bit the per-step
   full causal recompute (:func:`decode_reference`).
+* :mod:`~repro.serving.sharded` — multi-device serving:
+  :class:`ShardedDispatcher` splits an encoder across N simulated devices
+  by balanced min-cut placement (one kernel dispatcher per shard), routing
+  each projection's SpMM to its owner and pricing the implied all-reduce /
+  send-recv traffic with the interconnect ring model.
+* :mod:`~repro.serving.config` — :class:`ServingConfig`, the one typed
+  home for engine knobs (scheduling, padding, admission control, KV
+  geometry, warming, sharding), plus the :func:`create_engine` factory.
 * :mod:`~repro.serving.simulate` — throughput/latency simulator for
   batch-window sweeps (requests/s vs window) on the modelled GPU, with
   fixed-grid, async arrival-deadline, or window-free continuous
@@ -54,6 +62,12 @@ from .batcher import (
     Request,
     ShapeBucketBatcher,
 )
+from .config import (
+    SCHEDULING_MODES,
+    ServingConfig,
+    ShardingConfig,
+    create_engine,
+)
 from .continuous import (
     CompletionRecord,
     ContinuousBatcher,
@@ -62,6 +76,7 @@ from .continuous import (
 )
 from .decoder import DecodeRequest, DecoderServingEngine, decode_reference
 from .engine import ServingEngine
+from .sharded import PLACEMENT_POLICIES, ShardedDispatcher
 from .faults import (
     OUTCOME_FAILED,
     OUTCOME_OK,
@@ -96,6 +111,8 @@ __all__ = [
     "OUTCOME_SHED",
     "OUTCOME_STATES",
     "OUTCOME_TIMED_OUT",
+    "PLACEMENT_POLICIES",
+    "SCHEDULING_MODES",
     "AsyncWindowBatcher",
     "BackendExecutionError",
     "BucketKey",
@@ -113,9 +130,13 @@ __all__ = [
     "Request",
     "RequestOutcome",
     "ShapeBucketBatcher",
+    "ShardedDispatcher",
+    "ShardingConfig",
+    "ServingConfig",
     "ServingEngine",
     "ServingSimReport",
     "SimulatedRequest",
+    "create_engine",
     "decode_reference",
     "outcome_counts",
     "plan_async_closings",

@@ -1,0 +1,271 @@
+"""Typed serving configuration and the engine factory.
+
+The serving engines grew one keyword at a time — padding mode on the model
+engine, KV geometry on the decoder, admission control on the continuous
+batcher, now shard topology — until constructing a server meant threading
+the same half-dozen knobs through three different signatures.
+:class:`ServingConfig` consolidates them into one frozen dataclass accepted
+by all three engines (``config=...``), with :func:`create_engine` as the
+one-call front door.  The old keyword paths keep working: engine kwargs the
+config subsumes (``padding=``, the decoder's ``block_size=`` /
+``capacity_blocks=`` / ``kv_budget_blocks=``) are deprecated aliases that
+emit :class:`DeprecationWarning` and conflict loudly with an explicit
+``config``.
+
+Scheduling is part of the config: ``scheduling`` picks which batcher family
+an engine builds by default (``"window"`` whole-window flush, ``"async"``
+arrival-deadline windows, ``"continuous"`` the per-step loop), and the
+admission-control knobs (``max_queue_depth`` / ``shed_policy`` /
+``kv_budget_blocks``) bind to the continuous batcher.  Sharding is too:
+``sharding=ShardingConfig(tp_degree=4)`` makes the engines build a
+:class:`~repro.serving.sharded.ShardedDispatcher` and solve min-cut
+placement at construction.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple
+
+from .batcher import AsyncWindowBatcher, ShapeBucketBatcher
+from .continuous import SHED_POLICIES, SHED_REJECT_NEWEST, ContinuousBatcher
+from .sharded import PLACEMENT_POLICIES, ShardedDispatcher
+from ..hardware.spec import NVLINK, GPUSpec, InterconnectSpec
+
+#: Scheduling drivers a config can select for the default batcher.
+SCHEDULING_MODES = ("window", "async", "continuous")
+
+#: Sentinel distinguishing "kwarg not passed" from any real value, so the
+#: deprecated aliases only warn when a caller actually used them.
+UNSET = object()
+
+
+def warn_deprecated_kwarg(kwarg: str, config_field: str, config) -> None:
+    """Emit the legacy-kwarg warning; reject a conflicting explicit config."""
+    warnings.warn(
+        f"the {kwarg}= engine keyword is deprecated; pass "
+        f"config=ServingConfig({config_field}=...) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    if config is not None:
+        raise TypeError(
+            f"cannot pass both config= and the deprecated {kwarg}= keyword; "
+            f"set {config_field} on the ServingConfig"
+        )
+
+
+@dataclass(frozen=True)
+class ShardingConfig:
+    """Shard topology for multi-device serving.
+
+    ``tp_degree=1`` (default) means unsharded single-device serving; above
+    1 the engines build a :class:`~repro.serving.sharded.ShardedDispatcher`
+    over that many simulated devices joined by ``link``, with projections
+    assigned by ``placement_policy``.
+    """
+
+    tp_degree: int = 1
+    link: InterconnectSpec = NVLINK
+    placement_policy: str = "min_cut"
+
+    def __post_init__(self) -> None:
+        if self.tp_degree < 1:
+            raise ValueError("tp_degree must be >= 1")
+        if self.placement_policy not in PLACEMENT_POLICIES:
+            raise ValueError(
+                f"placement_policy must be one of {PLACEMENT_POLICIES}, "
+                f"got {self.placement_policy!r}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this config asks for an actual multi-shard split."""
+        return self.tp_degree > 1
+
+    def build_dispatcher(
+        self, gpu: Optional[GPUSpec] = None, name: str = "sharded"
+    ) -> ShardedDispatcher:
+        """The sharded dispatcher this topology describes."""
+        return ShardedDispatcher(
+            num_shards=self.tp_degree,
+            gpu=gpu,
+            link=self.link,
+            placement_policy=self.placement_policy,
+            name=name,
+        )
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """One typed home for every serving-engine knob.
+
+    Attributes
+    ----------
+    name:
+        Engine label (``None`` keeps each engine class's default).
+    scheduling:
+        Default-batcher family: ``"window"`` (whole-window ``flush``),
+        ``"async"`` (arrival-deadline windows for ``poll``), or
+        ``"continuous"`` (the per-step loop).  An explicitly passed
+        ``batcher=`` always wins over this.
+    padding:
+        Model-engine batching policy: ``"exact"`` stacks same-length
+        sequences only; ``"ladder"`` pads up the bucket ladder behind the
+        attention mask.
+    token_buckets:
+        Bucket ladder override (``None`` keeps the scheduling family's
+        default ladder).
+    max_batch_size:
+        Per-micro-batch size cap.
+    window_us:
+        Async-window close deadline (``scheduling="async"`` only).
+    step_us:
+        Default step cadence for ``serve_continuous`` replays.
+    max_queue_depth / shed_policy / kv_budget_blocks:
+        Continuous-batcher admission control (also the decoder's KV-budget
+        admission); rejected when the selected scheduling cannot honour
+        them.
+    block_size / capacity_blocks:
+        Decoder paged-KV-cache geometry.
+    warm / warm_buckets:
+        Eager plan building and the bucket sizes pre-ranked at
+        construction.
+    sharding:
+        Shard topology (:class:`ShardingConfig`); ``tp_degree=1`` default
+        is single-device.
+    """
+
+    name: Optional[str] = None
+    scheduling: str = "window"
+    padding: str = "exact"
+    token_buckets: Optional[Tuple[int, ...]] = None
+    max_batch_size: int = 64
+    window_us: float = 1000.0
+    step_us: float = 0.0
+    max_queue_depth: Optional[int] = None
+    shed_policy: str = SHED_REJECT_NEWEST
+    kv_budget_blocks: Optional[int] = None
+    block_size: int = 16
+    capacity_blocks: int = 512
+    warm: bool = True
+    warm_buckets: Tuple[int, ...] = ()
+    sharding: ShardingConfig = field(default_factory=ShardingConfig)
+
+    def __post_init__(self) -> None:
+        if self.scheduling not in SCHEDULING_MODES:
+            raise ValueError(
+                f"scheduling must be one of {SCHEDULING_MODES}, got {self.scheduling!r}"
+            )
+        if self.padding not in ("exact", "ladder"):
+            raise ValueError(f"padding must be 'exact' or 'ladder', got {self.padding!r}")
+        if self.token_buckets is not None:
+            object.__setattr__(self, "token_buckets", tuple(int(b) for b in self.token_buckets))
+        object.__setattr__(self, "warm_buckets", tuple(int(b) for b in self.warm_buckets))
+        if self.window_us < 0:
+            raise ValueError("window_us must be non-negative")
+        if self.step_us < 0:
+            raise ValueError("step_us must be non-negative")
+        if self.shed_policy not in SHED_POLICIES:
+            raise ValueError(
+                f"shed_policy must be one of {SHED_POLICIES}, got {self.shed_policy!r}"
+            )
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.block_size < 1 or self.capacity_blocks < 1:
+            raise ValueError("block_size and capacity_blocks must be >= 1")
+        if not isinstance(self.sharding, ShardingConfig):
+            raise TypeError("sharding must be a ShardingConfig")
+
+    # ------------------------------------------------------------------
+    # Derived builders the engines call
+    # ------------------------------------------------------------------
+    def _admission_kwargs(self, kv_cost: Optional[Callable] = None) -> dict:
+        return {
+            "max_queue_depth": self.max_queue_depth,
+            "shed_policy": self.shed_policy,
+            "kv_budget_blocks": self.kv_budget_blocks,
+            "kv_cost": kv_cost,
+        }
+
+    def build_batcher(self, kind: str = "operand", kv_cost: Optional[Callable] = None):
+        """The default batcher for an engine of ``kind``.
+
+        ``kind`` is ``"operand"`` (single-operator engine: plain bucket
+        ladder), ``"encoder"`` (model engine: exact-length or ladder
+        buckets per ``padding``) or ``"decoder"`` (always a continuous
+        batcher, whatever ``scheduling`` says — decoding is inherently
+        per-step).  Admission-control knobs require a continuous batcher
+        and are rejected otherwise.
+        """
+        if kind not in ("operand", "encoder", "decoder"):
+            raise ValueError(f"unknown engine kind {kind!r}")
+        continuous = self.scheduling == "continuous" or kind == "decoder"
+        if not continuous and (
+            self.max_queue_depth is not None or self.kv_budget_blocks is not None
+        ):
+            raise ValueError(
+                "max_queue_depth / kv_budget_blocks are admission-control knobs of the "
+                "continuous batcher; set scheduling='continuous' to use them"
+            )
+        extra: dict = {"max_batch_size": self.max_batch_size}
+        if continuous:
+            cls = ContinuousBatcher
+            extra.update(self._admission_kwargs(kv_cost))
+        elif self.scheduling == "async":
+            cls = AsyncWindowBatcher
+            extra["window_us"] = self.window_us
+        else:
+            cls = ShapeBucketBatcher
+        if kind == "encoder" and self.padding == "exact":
+            if self.token_buckets is not None:
+                raise ValueError(
+                    "token_buckets cannot be combined with padding='exact' "
+                    "(exact mode serves every length at its own singleton bucket)"
+                )
+            return cls.exact_length(**extra)
+        if self.token_buckets is not None:
+            return cls(token_buckets=self.token_buckets, **extra)
+        if kind in ("encoder", "decoder"):
+            return cls.ladder(**extra)
+        return cls(**extra)
+
+    def build_dispatcher(self, gpu: Optional[GPUSpec] = None, name: str = "serving"):
+        """A sharded dispatcher when sharding is enabled, else ``None``
+        (the engine keeps its own single-device default)."""
+        if not self.sharding.enabled:
+            return None
+        return self.sharding.build_dispatcher(gpu=gpu, name=f"{name}.sharded")
+
+
+def create_engine(target, config: Optional[ServingConfig] = None, kind: Optional[str] = None, **kwargs):
+    """Build the right serving engine for ``target`` from one config.
+
+    ``target`` is an encoder (→ :class:`ModelServingEngine`; pass
+    ``kind="decoder"`` for the KV-cache decode engine) or a sparse operand /
+    :class:`~repro.formats.vnm.VNMSparseMatrix` (→ the single-operator
+    :class:`ServingEngine`).  Extra keyword arguments (``dispatcher=``,
+    ``batcher=``, ``bias=``, ...) pass through to the engine constructor
+    and win over the config's defaults.
+    """
+    # Late imports: the engine modules import this one for the config type.
+    from .decoder import DecoderServingEngine
+    from .engine import ServingEngine
+    from .model_engine import ModelServingEngine
+    from ..models.transformer import TransformerEncoder
+
+    config = config if config is not None else ServingConfig()
+    if kind is None:
+        kind = "encoder" if isinstance(target, TransformerEncoder) else "operand"
+    if kind not in ("operand", "encoder", "decoder"):
+        raise ValueError(
+            f"unknown engine kind {kind!r}; expected 'operand', 'encoder' or 'decoder'"
+        )
+    if kind == "operand":
+        return ServingEngine(target, config=config, **kwargs)
+    if not isinstance(target, TransformerEncoder):
+        raise TypeError(f"kind={kind!r} needs a TransformerEncoder target, got {type(target).__name__}")
+    if kind == "encoder":
+        return ModelServingEngine(target, config=config, **kwargs)
+    return DecoderServingEngine(target, config=config, **kwargs)

@@ -50,11 +50,13 @@ from typing import Dict, Iterable, List, Optional
 import numpy as np
 
 from .batcher import BucketKey, Request
+from .config import UNSET, ServingConfig, warn_deprecated_kwarg
 from .continuous import CompletionRecord, ContinuousBatcher
 from .engine import (
     OutcomeTrackingMixin,
     admission_stats_of,
     continuous_stats_of,
+    sharding_stats_of,
 )
 from .faults import OUTCOME_FAILED, OUTCOME_OK, RequestOutcome
 from ..kernels.dispatch import BackendExecutionError, KernelDispatcher
@@ -189,9 +191,15 @@ class DecoderServingEngine(OutcomeTrackingMixin):
         function of ``ceil((prompt + new_tokens) / block_size)`` blocks.
     block_size / capacity_blocks:
         The shared :class:`~repro.models.kv_cache.PagedKVCache` geometry.
+        Deprecated as direct keywords — set them on the
+        :class:`~repro.serving.config.ServingConfig` instead.
     kv_budget_blocks:
         Optional admission-level KV budget (see
-        :class:`~repro.serving.continuous.ContinuousBatcher`).
+        :class:`~repro.serving.continuous.ContinuousBatcher`).  Deprecated
+        as a direct keyword — set it on the config instead.
+    config:
+        A :class:`~repro.serving.config.ServingConfig` consolidating the
+        KV geometry, admission control, warming and sharding knobs.
     """
 
     def __init__(
@@ -199,14 +207,33 @@ class DecoderServingEngine(OutcomeTrackingMixin):
         encoder: TransformerEncoder,
         batcher: Optional[ContinuousBatcher] = None,
         dispatcher: Optional[KernelDispatcher] = None,
-        block_size: int = 16,
-        capacity_blocks: int = 512,
-        kv_budget_blocks: Optional[int] = None,
+        block_size=UNSET,
+        capacity_blocks=UNSET,
+        kv_budget_blocks=UNSET,
         warm: bool = True,
         name: str = "decoder-serving",
+        config: Optional[ServingConfig] = None,
     ) -> None:
         if not isinstance(encoder, TransformerEncoder):
             raise TypeError("encoder must be a TransformerEncoder")
+        if block_size is UNSET:
+            block_size = config.block_size if config is not None else 16
+        else:
+            warn_deprecated_kwarg("block_size", "block_size", config)
+        if capacity_blocks is UNSET:
+            capacity_blocks = config.capacity_blocks if config is not None else 512
+        else:
+            warn_deprecated_kwarg("capacity_blocks", "capacity_blocks", config)
+        if kv_budget_blocks is UNSET:
+            kv_budget_blocks = config.kv_budget_blocks if config is not None else None
+        else:
+            warn_deprecated_kwarg("kv_budget_blocks", "kv_budget_blocks", config)
+        self.config = config
+        if config is not None:
+            name = config.name or name
+            warm = config.warm
+            if dispatcher is None:
+                dispatcher = config.build_dispatcher(name=name)
         self.encoder = encoder
         self.hidden_size = encoder.config.hidden_size
         self.name = name
@@ -214,6 +241,10 @@ class DecoderServingEngine(OutcomeTrackingMixin):
             dispatcher if dispatcher is not None else KernelDispatcher(name=f"{name}.dispatcher")
         )
         encoder.set_dispatcher(self.dispatcher)
+        # Sharded dispatchers solve placement for the encoder they serve.
+        bind_encoder = getattr(self.dispatcher, "bind_encoder", None)
+        if bind_encoder is not None:
+            bind_encoder(encoder)
         self.kv = PagedKVCache(
             num_layers=len(encoder.layers),
             num_heads=encoder.config.num_heads,
@@ -223,6 +254,8 @@ class DecoderServingEngine(OutcomeTrackingMixin):
         )
         if batcher is not None:
             self.batcher = batcher
+        elif config is not None:
+            self.batcher = config.build_batcher(kind="decoder", kv_cost=self._default_kv_cost)
         else:
             self.batcher = ContinuousBatcher.ladder(
                 kv_budget_blocks=kv_budget_blocks, kv_cost=self._default_kv_cost
@@ -396,7 +429,7 @@ class DecoderServingEngine(OutcomeTrackingMixin):
     # Replay drivers
     # ------------------------------------------------------------------
     def serve_continuous(
-        self, requests: Iterable[DecodeRequest], step_us: float = 0.0
+        self, requests: Iterable[DecodeRequest], step_us: Optional[float] = None
     ) -> Dict[str, np.ndarray]:
         """Replay decode jobs against their arrival clock through the step loop.
 
@@ -405,8 +438,11 @@ class DecoderServingEngine(OutcomeTrackingMixin):
         :meth:`step`, advances the clock by ``step_us`` after a step that
         did work and jumps to the next arrival otherwise — but the loop
         also runs while *residents* are still decoding, since a decode
-        outlives the step that admitted it.
+        outlives the step that admitted it.  ``step_us=None`` takes the
+        cadence from the engine's config (0 when unconfigured).
         """
+        if step_us is None:
+            step_us = self.config.step_us if self.config is not None else 0.0
         if step_us < 0:
             raise ValueError("step_us must be non-negative")
         queue = sorted(requests, key=lambda r: (r.arrival_us, r.request_id))
@@ -458,5 +494,6 @@ class DecoderServingEngine(OutcomeTrackingMixin):
             "outcomes": self.outcome_stats(),
             "dispatch_health": self.dispatcher.health_stats(),
             "admission": admission_stats_of(self.batcher),
+            "sharding": sharding_stats_of(self.dispatcher),
             "cache": self.cache_stats(),
         }

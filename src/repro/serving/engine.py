@@ -28,6 +28,7 @@ from typing import Dict, Iterable, Optional, Sequence
 import numpy as np
 
 from .batcher import MicroBatch, Request, ShapeBucketBatcher
+from .config import ServingConfig
 from .continuous import CompletionRecord
 from .faults import (
     OUTCOME_FAILED,
@@ -80,6 +81,29 @@ def continuous_stats_of(engine) -> Dict[str, object]:
     return {
         "steps": getattr(engine, "steps_executed", 0),
         "completions": len(getattr(engine, "completions", ())),
+    }
+
+
+def sharding_stats_of(dispatcher) -> Dict[str, object]:
+    """The shard-topology block every engine's ``stats()['sharding']`` emits.
+
+    Same normalization contract as :func:`admission_stats_of`: a sharded
+    dispatcher reports its per-shard load, placement quality and modelled
+    communication; a plain single-device dispatcher reports the zeroed
+    ``tp_degree=1`` schema rather than the key going missing.
+    """
+    stats_fn = getattr(dispatcher, "sharding_stats", None)
+    if stats_fn is not None:
+        return stats_fn()
+    return {
+        "tp_degree": 1,
+        "placement_policy": None,
+        "per_shard_calls": [],
+        "per_shard_modelled_us": [],
+        "load_balance": None,
+        "cut_bytes_per_token": 0.0,
+        "comm_time_us": 0.0,
+        "comm_events": 0,
     }
 
 
@@ -287,7 +311,7 @@ class ContinuousDriverMixin:
         return results
 
     def serve_continuous(
-        self, requests: Iterable[Request], step_us: float = 0.0
+        self, requests: Iterable[Request], step_us: Optional[float] = None
     ) -> Dict[str, np.ndarray]:
         """Replay requests against their arrival clock through the step loop.
 
@@ -295,7 +319,8 @@ class ContinuousDriverMixin:
         the first arrival, each iteration admits every request that has
         arrived by ``now``, and :meth:`step` executes one micro-batch;
         after an executed step the clock advances by ``step_us`` (the step
-        cadence — ``0.0`` means steps run back to back), and an idle step
+        cadence — ``0.0`` means steps run back to back; ``None`` reads the
+        engine config's ``step_us``), and an idle step
         jumps the clock to the next pending arrival.  Runs until every
         request has completed — including requests ``submit``-ted directly
         onto the engine beforehand (their ``arrival_us`` is honoured via
@@ -306,6 +331,9 @@ class ContinuousDriverMixin:
         arrival is admitted, so a malformed request fails at its own
         arrival after earlier requests have already been served.
         """
+        if step_us is None:
+            config = getattr(self, "config", None)
+            step_us = config.step_us if config is not None else 0.0
         if step_us < 0:
             raise ValueError("step_us must be non-negative")
         if not hasattr(self.batcher, "next_batch"):
@@ -420,6 +448,12 @@ class ServingEngine(OutcomeTrackingMixin, AsyncDriverMixin, ContinuousDriverMixi
         Token-bucket sizes whose dispatch decisions are pre-ranked at
         construction, so the first request of those shapes also skips the
         cost-model sweep (pass the bucket ladder you expect traffic on).
+    config:
+        A :class:`~repro.serving.config.ServingConfig` consolidating the
+        knobs above: it supplies the default batcher (per its
+        ``scheduling`` mode), name, warming policy and — when its sharding
+        block is enabled — a sharded dispatcher.  Explicitly passed
+        ``dispatcher``/``batcher`` win over the config's defaults.
     """
 
     def __init__(
@@ -431,7 +465,17 @@ class ServingEngine(OutcomeTrackingMixin, AsyncDriverMixin, ContinuousDriverMixi
         warm: bool = True,
         warm_buckets: Sequence[int] = (),
         name: str = "serving",
+        config: Optional["ServingConfig"] = None,
     ) -> None:
+        self.config = config
+        if config is not None:
+            name = config.name or name
+            warm = config.warm
+            warm_buckets = config.warm_buckets or warm_buckets
+            if batcher is None:
+                batcher = config.build_batcher(kind="operand")
+            if dispatcher is None:
+                dispatcher = config.build_dispatcher(name=name)
         if isinstance(operand, VNMSparseMatrix):
             operand = SpmmOperand.from_vnm(operand, name=name)
         if not isinstance(operand, SpmmOperand):
@@ -568,6 +612,7 @@ class ServingEngine(OutcomeTrackingMixin, AsyncDriverMixin, ContinuousDriverMixi
             "outcomes": self.outcome_stats(),
             "dispatch_health": self.dispatcher.health_stats(),
             "admission": admission_stats_of(self.batcher),
+            "sharding": sharding_stats_of(self.dispatcher),
             "modelled_kernel_time_us": self.trace.total_time_us,
             "trace": self.trace.summary(),
         }

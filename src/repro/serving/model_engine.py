@@ -60,6 +60,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .batcher import MicroBatch, Request, ShapeBucketBatcher
+from .config import UNSET, ServingConfig, warn_deprecated_kwarg
 from .continuous import CompletionRecord
 from .engine import (
     AsyncDriverMixin,
@@ -68,6 +69,7 @@ from .engine import (
     StackBufferPool,
     admission_stats_of,
     continuous_stats_of,
+    sharding_stats_of,
 )
 from .faults import RequestOutcome
 from ..hardware.trace import ExecutionTrace
@@ -125,6 +127,15 @@ class ModelServingEngine(OutcomeTrackingMixin, AsyncDriverMixin, ContinuousDrive
     warm_buckets:
         Token-bucket sizes (sequence lengths here) to pre-rank at
         construction.
+    config:
+        A :class:`~repro.serving.config.ServingConfig` consolidating the
+        knobs above (padding mode, scheduling family for the default
+        batcher, warming, sharding).  When its ``sharding`` block is
+        enabled, the engine builds a
+        :class:`~repro.serving.sharded.ShardedDispatcher` and solves
+        min-cut placement for the encoder at construction.  Passing the
+        deprecated ``padding=`` keyword alongside an explicit config is an
+        error.
     """
 
     def __init__(
@@ -132,15 +143,29 @@ class ModelServingEngine(OutcomeTrackingMixin, AsyncDriverMixin, ContinuousDrive
         encoder: TransformerEncoder,
         dispatcher: Optional[KernelDispatcher] = None,
         batcher: Optional[ShapeBucketBatcher] = None,
-        padding: str = "exact",
+        padding=UNSET,
         warm: bool = True,
         warm_buckets: Sequence[int] = (),
         name: str = "encoder-serving",
+        config: Optional[ServingConfig] = None,
     ) -> None:
         if not isinstance(encoder, TransformerEncoder):
             raise TypeError("encoder must be a TransformerEncoder")
+        if padding is UNSET:
+            padding = config.padding if config is not None else "exact"
+        else:
+            warn_deprecated_kwarg("padding", "padding", config)
         if padding not in ("exact", "ladder"):
             raise ValueError(f"padding must be 'exact' or 'ladder', got {padding!r}")
+        self.config = config
+        if config is not None:
+            name = config.name or name
+            warm = config.warm
+            warm_buckets = config.warm_buckets or warm_buckets
+            if batcher is None:
+                batcher = config.build_batcher(kind="encoder")
+            if dispatcher is None:
+                dispatcher = config.build_dispatcher(name=name)
         self.encoder = encoder
         self.hidden_size = encoder.config.hidden_size
         self.name = name
@@ -149,6 +174,11 @@ class ModelServingEngine(OutcomeTrackingMixin, AsyncDriverMixin, ContinuousDrive
             dispatcher if dispatcher is not None else KernelDispatcher(name=f"{name}.dispatcher")
         )
         encoder.set_dispatcher(self.dispatcher)
+        # Sharded dispatchers solve placement for the encoder they serve:
+        # every sparse operand is bound to its owning shard up front.
+        bind_encoder = getattr(self.dispatcher, "bind_encoder", None)
+        if bind_encoder is not None:
+            bind_encoder(encoder)
         if batcher is not None:
             self.batcher = batcher
         elif padding == "ladder":
@@ -269,6 +299,13 @@ class ModelServingEngine(OutcomeTrackingMixin, AsyncDriverMixin, ContinuousDrive
                 }
             )
             self.trace.record(execution)
+        # Sharded serving: one comm-category kernel per collective the
+        # placement implies for this batch's token volume.
+        comm_kernels = getattr(self.dispatcher, "comm_kernels", None)
+        if comm_kernels is not None:
+            for execution in comm_kernels(total_tokens, batch.batch_size):
+                execution.meta["serving"] = self.name
+                self.trace.record(execution)
 
     def _padding_mask_for(self, batch: MicroBatch) -> np.ndarray:
         """The batch's additive attention mask, memoized per
@@ -395,6 +432,7 @@ class ModelServingEngine(OutcomeTrackingMixin, AsyncDriverMixin, ContinuousDrive
             "outcomes": self.outcome_stats(),
             "dispatch_health": self.dispatcher.health_stats(),
             "admission": admission_stats_of(self.batcher),
+            "sharding": sharding_stats_of(self.dispatcher),
             "sparse_projections": len(self._sparse_layers()),
             "plan_cache": {
                 "size": len(self.plans),

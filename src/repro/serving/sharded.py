@@ -1,0 +1,265 @@
+"""Sharded multi-device dispatch for model serving.
+
+:class:`ShardedDispatcher` splits a served encoder across ``num_shards``
+simulated devices: every sparse projection is *owned* by exactly one shard
+(one :class:`~repro.kernels.dispatch.KernelDispatcher` per device, each
+with its own plan/decision caches and circuit breakers), and each
+projection's SpMM routes to its owner.  Ownership comes from the balanced
+min-cut placement of :mod:`repro.models.distributed` — per-shard modelled
+FLOP load stays balanced while the activation bytes crossing shard
+boundaries are minimised — and the traffic a placement implies (ring
+all-reduces into row-parallel projections whose inputs span shards,
+point-to-point send/recv for every other cut edge) is priced with the
+:class:`~repro.hardware.spec.InterconnectSpec` ring model and recorded as
+``comm``-category kernels on the serving trace.
+
+The bit-exactness guarantee is preserved by construction: sharding changes
+*where* each projection executes (which dispatcher owns its plan) and what
+communication is modelled, never the arithmetic — each SpMM still runs
+once, unsplit, through a standard :class:`KernelDispatcher`, so sharded
+serving output is bit-for-bit the single-device ``encoder.forward``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..hardware.spec import NVLINK, GPUSpec, InterconnectSpec
+from ..hardware.trace import KernelExecution
+from ..kernels.dispatch import DispatchDecision, KernelDispatcher, SpmmOperand
+from ..models.distributed import (
+    CommEvent,
+    Placement,
+    encoder_layer_graph,
+    partition_min_cut,
+    partition_min_cut_reference,
+    partition_round_robin,
+    placement_comm_events,
+)
+
+#: Placement policies accepted by :meth:`ShardedDispatcher.bind_encoder`.
+PLACEMENT_POLICIES = ("min_cut", "min_cut_reference", "round_robin")
+
+_PLACEMENT_SOLVERS = {
+    "min_cut": partition_min_cut,
+    "min_cut_reference": partition_min_cut_reference,
+    "round_robin": partition_round_robin,
+}
+
+
+class ShardedDispatcher:
+    """Route each projection's SpMM to its owning shard.
+
+    Drop-in compatible with the :class:`KernelDispatcher` surface the
+    serving engines use (``execute`` / ``dispatch`` / ``estimate`` /
+    ``warm`` / ``warm_many`` / ``health_stats`` / ``cache_stats`` /
+    ``gpu``), so an engine built on a sharded dispatcher needs no special
+    execution path.  Operands not bound to any shard fall back to shard 0,
+    exactly like a single-device dispatcher.
+    """
+
+    def __init__(
+        self,
+        num_shards: int = 2,
+        gpu: Optional[GPUSpec] = None,
+        link: InterconnectSpec = NVLINK,
+        placement_policy: str = "min_cut",
+        name: str = "sharded",
+        **dispatcher_kwargs,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if placement_policy not in PLACEMENT_POLICIES:
+            raise ValueError(
+                f"unknown placement policy {placement_policy!r}; known: {PLACEMENT_POLICIES}"
+            )
+        self.num_shards = num_shards
+        self.link = link
+        self.placement_policy = placement_policy
+        self.name = name
+        self.shards: List[KernelDispatcher] = [
+            KernelDispatcher(gpu=gpu, name=f"{name}.shard{i}", **dispatcher_kwargs)
+            for i in range(num_shards)
+        ]
+        #: The placement solved by the last :meth:`bind_encoder` call.
+        self.placement: Optional[Placement] = None
+        #: Comm events one full forward pass implies under the placement.
+        self.comm_events: Tuple[CommEvent, ...] = ()
+        #: Operand identity -> owning shard index.
+        self._owner: Dict[int, int] = {}
+        #: Operand identity -> qualified layer name (diagnostics).
+        self._layer: Dict[int, str] = {}
+        #: Executes routed to each shard.
+        self.shard_calls: List[int] = [0] * num_shards
+        #: Modelled kernel time attributed to each shard (accumulated from
+        #: the ``estimate`` calls the engines make when recording traffic).
+        self.shard_modelled_us: List[float] = [0.0] * num_shards
+        #: Cumulative modelled communication recorded via :meth:`comm_kernels`.
+        self.comm_time_us = 0.0
+        self.comm_calls = 0
+
+    @property
+    def gpu(self) -> GPUSpec:
+        """The (shared) device model; all shards are identical devices."""
+        return self.shards[0].gpu
+
+    # ------------------------------------------------------------------
+    # Placement binding
+    # ------------------------------------------------------------------
+    def bind_encoder(self, encoder) -> Placement:
+        """Solve placement for ``encoder`` and take ownership of its operands.
+
+        Builds the encoder's layer graph, partitions it with the configured
+        policy, and maps every sparse projection's operand to its shard.
+        Dense projections participate in the graph (they carry load and
+        activation edges) but execute locally as before — only dispatched
+        SpMMs route.  Returns the solved :class:`Placement`.
+        """
+        graph = encoder_layer_graph(encoder)
+        placement = _PLACEMENT_SOLVERS[self.placement_policy](graph, self.num_shards)
+        owner_by_name = placement.as_dict()
+        self._owner.clear()
+        self._layer.clear()
+        for qualified, lin in encoder.named_linear_layers():
+            operand = getattr(lin, "operand", None)
+            if operand is None:
+                continue
+            self._owner[id(operand)] = owner_by_name[qualified]
+            self._layer[id(operand)] = qualified
+        self.placement = placement
+        self.comm_events = placement_comm_events(placement)
+        return placement
+
+    def shard_of(self, operand: SpmmOperand) -> int:
+        """Owning shard of an operand (0 for unbound operands)."""
+        return self._owner.get(id(operand), 0)
+
+    def layer_of(self, operand: SpmmOperand) -> Optional[str]:
+        """Qualified layer name the operand was bound as, if any."""
+        return self._layer.get(id(operand))
+
+    # ------------------------------------------------------------------
+    # KernelDispatcher-compatible surface
+    # ------------------------------------------------------------------
+    def execute(
+        self, operand: SpmmOperand, b: np.ndarray, bias: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        shard = self.shard_of(operand)
+        self.shard_calls[shard] += 1
+        return self.shards[shard].execute(operand, b, bias=bias)
+
+    def dispatch(self, operand: SpmmOperand, c: int) -> DispatchDecision:
+        return self.shards[self.shard_of(operand)].dispatch(operand, c)
+
+    def estimate(self, operand: SpmmOperand, c: int, backend: Optional[str] = None):
+        shard = self.shard_of(operand)
+        result = self.shards[shard].estimate(operand, c, backend=backend)
+        self.shard_modelled_us[shard] += result.time_us
+        return result
+
+    def record_runtime(self, operand: SpmmOperand, c: int, backend: str, measured_us: float) -> None:
+        self.shards[self.shard_of(operand)].record_runtime(operand, c, backend, measured_us)
+
+    def warm(self, operand: SpmmOperand, cs: Sequence[int] = ()) -> None:
+        self.shards[self.shard_of(operand)].warm(operand, cs)
+
+    def warm_many(self, operands: Sequence[SpmmOperand], cs: Sequence[int] = ()) -> int:
+        per_shard: Dict[int, List[SpmmOperand]] = {}
+        for op in operands:
+            per_shard.setdefault(self.shard_of(op), []).append(op)
+        return sum(
+            self.shards[shard].warm_many(ops, cs) for shard, ops in sorted(per_shard.items())
+        )
+
+    def health_stats(self) -> Dict[str, object]:
+        """Circuit-breaker counters summed across shards.
+
+        Scalar counters add up; ``quarantined`` unions (shard-qualified);
+        ``observed_backends`` merges per backend name.
+        """
+        merged: Dict[str, object] = {
+            "failures": 0,
+            "failovers": 0,
+            "quarantines": 0,
+            "readmissions": 0,
+            "quarantined": [],
+            "observations": 0,
+            "measured_reranks": 0,
+            "observed_backends": {},
+        }
+        for i, shard in enumerate(self.shards):
+            stats = shard.health_stats()
+            for key in ("failures", "failovers", "quarantines", "readmissions",
+                        "observations", "measured_reranks"):
+                merged[key] += stats[key]
+            merged["quarantined"].extend(f"shard{i}:{b}" for b in stats["quarantined"])
+            for backend, agg in stats["observed_backends"].items():
+                merged["observed_backends"].setdefault(backend, dict(agg))
+        return merged
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Decision/estimate-cache counters summed across shards."""
+        totals: Dict[str, int] = {}
+        for shard in self.shards:
+            for key, value in shard.cache_stats().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def clear_cache(self) -> None:
+        for shard in self.shards:
+            shard.clear_cache()
+
+    # ------------------------------------------------------------------
+    # Communication accounting
+    # ------------------------------------------------------------------
+    def comm_kernels(self, tokens: int, batch_size: int = 1) -> List[KernelExecution]:
+        """Modelled comm kernels for one batch forward over ``tokens`` tokens.
+
+        One ``comm``-category :class:`KernelExecution` per placement comm
+        event; also advances the cumulative :attr:`comm_time_us` /
+        :attr:`comm_calls` counters so engines without an execution trace
+        (the decoder) still report communication totals.
+        """
+        kernels: List[KernelExecution] = []
+        for event in self.comm_events:
+            time_us = event.time_us(tokens, self.link)
+            kernels.append(
+                KernelExecution(
+                    kernel="allreduce" if event.kind == "all_reduce" else "send_recv",
+                    category="comm",
+                    time_us=time_us,
+                    bytes_moved=event.bytes_per_token * tokens,
+                    meta={
+                        "layer": event.layer,
+                        "shards": list(event.shards),
+                        "batch_size": batch_size,
+                        "tokens": tokens,
+                    },
+                )
+            )
+            self.comm_time_us += time_us
+        self.comm_calls += len(kernels)
+        return kernels
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+    def sharding_stats(self) -> Dict[str, object]:
+        """Per-shard load, placement quality and communication totals."""
+        placement = self.placement
+        modelled = list(self.shard_modelled_us)
+        max_us, mean_us = max(modelled), sum(modelled) / len(modelled)
+        return {
+            "tp_degree": self.num_shards,
+            "placement_policy": placement.policy if placement else self.placement_policy,
+            "per_shard_calls": list(self.shard_calls),
+            "per_shard_modelled_us": [round(us, 3) for us in modelled],
+            "load_balance": round(max_us / mean_us, 4) if mean_us > 0 else (
+                round(placement.load_balance, 4) if placement else None
+            ),
+            "cut_bytes_per_token": placement.cut_bytes_per_token if placement else 0.0,
+            "comm_time_us": round(self.comm_time_us, 3),
+            "comm_events": self.comm_calls,
+        }

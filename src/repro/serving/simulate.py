@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .batcher import BucketKey, ShapeBucketBatcher
+from .config import ServingConfig
 from .continuous import SHED_POLICIES, SHED_DROP_EXPIRED, plan_continuous_batch
 from .faults import (
     OUTCOME_FAILED,
@@ -243,16 +244,31 @@ def plan_async_closings(
     return closings
 
 
+#: How a :class:`~repro.serving.config.ServingConfig`'s scheduling mode maps
+#: onto the simulator's window policies.
+_POLICY_OF_SCHEDULING = {"window": "fixed", "async": "async", "continuous": "continuous"}
+
+
 def simulate_serving(
     operand: SpmmOperand,
     requests: Sequence[SimulatedRequest],
     window_us: float,
     dispatcher: Optional[KernelDispatcher] = None,
     batcher: Optional[ShapeBucketBatcher] = None,
-    window_policy: str = "fixed",
-    bucketing: str = "ladder",
+    window_policy: Optional[str] = None,
+    bucketing: Optional[str] = None,
+    config: Optional[ServingConfig] = None,
 ) -> ServingSimReport:
     """Replay ``requests`` through a windowed dynamic batcher on the model.
+
+    ``config`` lets one :class:`~repro.serving.config.ServingConfig` drive
+    the simulator the same way it drives the live engines: ``scheduling``
+    picks the window policy (window→fixed, async→async,
+    continuous→continuous), ``padding`` picks the bucketing mode,
+    ``token_buckets`` / ``max_batch_size`` shape the default batcher, and
+    ``sharding`` builds a sharded dispatcher.  Explicitly passed
+    ``window_policy`` / ``bucketing`` / ``dispatcher`` / ``batcher``
+    arguments win over the config.
 
     ``window_us <= 0`` means no batching: every request is dispatched alone
     the moment it arrives (the per-request baseline of the sweeps).  The
@@ -285,6 +301,18 @@ def simulate_serving(
     either ``window_policy``, so exact/padded x fixed/async sweeps run side
     by side.
     """
+    if config is not None:
+        if window_policy is None:
+            window_policy = _POLICY_OF_SCHEDULING[config.scheduling]
+        if bucketing is None:
+            bucketing = config.padding
+        if dispatcher is None:
+            dispatcher = config.build_dispatcher(name="simulate")
+        if batcher is None:
+            buckets = {"token_buckets": config.token_buckets} if config.token_buckets else {}
+            batcher = ShapeBucketBatcher(max_batch_size=config.max_batch_size, **buckets)
+    window_policy = window_policy if window_policy is not None else "fixed"
+    bucketing = bucketing if bucketing is not None else "ladder"
     if window_policy not in {"fixed", "async", "continuous"}:
         raise ValueError(
             f"unknown window_policy {window_policy!r}; use 'fixed', 'async' or 'continuous'"

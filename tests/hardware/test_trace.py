@@ -41,9 +41,16 @@ class TestExecutionTrace:
         trace = ExecutionTrace()
         trace.record(make_exec(category="gemm", time_us=10))
         cats = trace.time_by_category()
-        assert set(cats) == {"gemm", "matmul", "softmax", "other"}
+        assert set(cats) == {"gemm", "matmul", "softmax", "comm", "other"}
         assert cats["gemm"] == 10
         assert cats["softmax"] == 0
+        assert cats["comm"] == 0
+
+    def test_comm_time(self):
+        trace = ExecutionTrace()
+        trace.record(make_exec(kernel="allreduce", category="comm", time_us=4))
+        trace.record(make_exec(category="gemm", time_us=6))
+        assert trace.comm_time_us() == 4
 
     def test_time_by_kernel(self):
         trace = ExecutionTrace()

@@ -1,0 +1,292 @@
+"""ServingConfig API: one typed home for engine knobs, across all engines.
+
+Pins the api_redesign contract: every serving engine constructs from a
+:class:`ServingConfig` (directly or through :func:`create_engine`), the
+legacy per-engine keywords still work but emit ``DeprecationWarning`` (and
+conflict loudly with an explicit config), and all three engines report one
+normalized ``stats()`` schema — the ``outcomes`` / ``admission`` /
+``continuous`` / ``dispatch_health`` / ``sharding`` blocks are always
+present, zeroed when the corresponding feature is unused.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.formats.vnm import VNMSparseMatrix
+from repro.integration import VNMSparsifier, sparsify_encoder
+from repro.kernels.dispatch import SpmmOperand
+from repro.models import TransformerEncoder, tiny_config
+from repro.pruning.masks import apply_mask
+from repro.pruning.vnm import vnm_mask
+from repro.serving import (
+    AsyncWindowBatcher,
+    ContinuousBatcher,
+    DecodeRequest,
+    DecoderServingEngine,
+    ModelServingEngine,
+    Request,
+    ServingConfig,
+    ServingEngine,
+    ShapeBucketBatcher,
+    ShardedDispatcher,
+    ShardingConfig,
+    SimulatedRequest,
+    create_engine,
+    simulate_serving,
+)
+
+HIDDEN = 64
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0xBEEF)
+
+
+@pytest.fixture
+def operand(rng):
+    dense = rng.normal(size=(64, 128))
+    pruned = apply_mask(dense, vnm_mask(dense, v=16, n=2, m=8)).astype(np.float32)
+    return SpmmOperand.from_vnm(
+        VNMSparseMatrix.from_dense(pruned, v=16, n=2, m=8, strict=True)
+    )
+
+
+def make_encoder(seed=0, num_layers=1):
+    cfg = tiny_config(
+        hidden_size=HIDDEN, num_layers=num_layers, num_heads=4, intermediate_size=128
+    )
+    encoder = TransformerEncoder.init(cfg, seed=seed)
+    sparsify_encoder(encoder, VNMSparsifier(n=2, m=4, v=16))
+    return encoder
+
+
+class TestServingConfig:
+    def test_defaults_validate(self):
+        config = ServingConfig()
+        assert config.scheduling == "window"
+        assert config.padding == "exact"
+        assert not config.sharding.enabled
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"scheduling": "sometimes"},
+            {"padding": "diagonal"},
+            {"window_us": -1.0},
+            {"step_us": -1.0},
+            {"max_batch_size": 0},
+            {"block_size": 0},
+            {"shed_policy": "coin-flip"},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            ServingConfig(**kwargs)
+
+    def test_sharding_validation(self):
+        with pytest.raises(ValueError):
+            ShardingConfig(tp_degree=0)
+        with pytest.raises(ValueError):
+            ShardingConfig(placement_policy="magic")
+        with pytest.raises(TypeError):
+            ServingConfig(sharding="2-way")
+
+    def test_build_batcher_families(self):
+        assert isinstance(ServingConfig().build_batcher(), ShapeBucketBatcher)
+        assert isinstance(
+            ServingConfig(scheduling="async").build_batcher(), AsyncWindowBatcher
+        )
+        assert isinstance(
+            ServingConfig(scheduling="continuous").build_batcher(), ContinuousBatcher
+        )
+        # The decoder always gets a continuous batcher, whatever scheduling says.
+        assert isinstance(ServingConfig().build_batcher(kind="decoder"), ContinuousBatcher)
+
+    def test_admission_knobs_require_continuous(self):
+        with pytest.raises(ValueError):
+            ServingConfig(max_queue_depth=4).build_batcher()
+        batcher = ServingConfig(scheduling="continuous", max_queue_depth=4).build_batcher()
+        assert isinstance(batcher, ContinuousBatcher)
+
+    def test_exact_padding_rejects_token_buckets(self):
+        with pytest.raises(ValueError):
+            ServingConfig(token_buckets=(8, 16)).build_batcher(kind="encoder")
+
+    def test_build_dispatcher_only_when_sharded(self):
+        assert ServingConfig().build_dispatcher() is None
+        dispatcher = ServingConfig(
+            sharding=ShardingConfig(tp_degree=2)
+        ).build_dispatcher()
+        assert isinstance(dispatcher, ShardedDispatcher)
+        assert dispatcher.num_shards == 2
+
+
+class TestCreateEngine:
+    def test_routes_by_target_and_kind(self, operand):
+        encoder = make_encoder()
+        assert isinstance(create_engine(operand), ServingEngine)
+        assert isinstance(create_engine(encoder), ModelServingEngine)
+        assert isinstance(create_engine(encoder, kind="decoder"), DecoderServingEngine)
+        with pytest.raises(TypeError):
+            create_engine(operand, kind="decoder")
+        with pytest.raises(ValueError):
+            create_engine(operand, kind="banana")
+
+    def test_config_drives_all_three_engines(self, operand, rng):
+        config = ServingConfig(name="cfg-driven", scheduling="continuous", step_us=10.0)
+        op_engine = create_engine(operand, config=config)
+        assert op_engine.name == "cfg-driven"
+        assert isinstance(op_engine.batcher, ContinuousBatcher)
+        model_engine = create_engine(make_encoder(), config=ServingConfig(padding="ladder"))
+        assert model_engine.padding == "ladder"
+        decoder = create_engine(
+            make_encoder(),
+            kind="decoder",
+            config=ServingConfig(block_size=8, capacity_blocks=64),
+        )
+        assert decoder.kv.block_size == 8
+        # The configured engines actually serve.
+        x = rng.normal(size=(5, HIDDEN)).astype(np.float32)
+        out = model_engine.serve([Request("r0", x)])
+        assert out["r0"].shape == (5, HIDDEN)
+
+    def test_explicit_kwargs_win_over_config(self, operand):
+        batcher = ShapeBucketBatcher(max_batch_size=3)
+        engine = create_engine(
+            operand, config=ServingConfig(max_batch_size=64), batcher=batcher
+        )
+        assert engine.batcher is batcher
+
+
+class TestDeprecatedKwargs:
+    def test_model_engine_padding_warns_but_works(self, rng):
+        with pytest.warns(DeprecationWarning, match="padding="):
+            engine = ModelServingEngine(make_encoder(), padding="ladder")
+        assert engine.padding == "ladder"
+        x = rng.normal(size=(5, HIDDEN)).astype(np.float32)
+        assert engine.serve([Request("r0", x)])["r0"].shape == (5, HIDDEN)
+
+    @pytest.mark.parametrize(
+        "kwarg,value", [("block_size", 8), ("capacity_blocks", 64), ("kv_budget_blocks", 32)]
+    )
+    def test_decoder_kv_kwargs_warn_but_work(self, kwarg, value):
+        with pytest.warns(DeprecationWarning, match=f"{kwarg}="):
+            engine = DecoderServingEngine(make_encoder(), **{kwarg: value})
+        if kwarg == "block_size":
+            assert engine.kv.block_size == value
+
+    def test_deprecated_kwarg_conflicts_with_config(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError, match="both config="):
+                ModelServingEngine(
+                    make_encoder(), padding="ladder", config=ServingConfig()
+                )
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError, match="both config="):
+                DecoderServingEngine(make_encoder(), block_size=8, config=ServingConfig())
+
+    def test_config_path_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            ModelServingEngine(make_encoder(), config=ServingConfig(padding="ladder"))
+            DecoderServingEngine(make_encoder(), config=ServingConfig(block_size=8))
+
+
+#: Normalized stats blocks every engine must expose, feature used or not.
+NORMALIZED_BLOCKS = ("outcomes", "admission", "continuous", "dispatch_health", "sharding")
+SHARDING_KEYS = {
+    "tp_degree",
+    "placement_policy",
+    "per_shard_calls",
+    "per_shard_modelled_us",
+    "load_balance",
+    "cut_bytes_per_token",
+    "comm_time_us",
+    "comm_events",
+}
+
+
+class TestNormalizedStatsSchema:
+    def engines(self, operand):
+        return [
+            create_engine(operand),
+            create_engine(make_encoder()),
+            create_engine(make_encoder(), kind="decoder"),
+        ]
+
+    def test_blocks_present_in_all_engines(self, operand):
+        for engine in self.engines(operand):
+            stats = engine.stats()
+            for block in NORMALIZED_BLOCKS:
+                assert block in stats, f"{type(engine).__name__} lacks {block!r}"
+                assert isinstance(stats[block], dict)
+
+    def test_sharding_block_zeroed_when_unsharded(self, operand):
+        for engine in self.engines(operand):
+            block = engine.stats()["sharding"]
+            assert set(block) == SHARDING_KEYS
+            assert block["tp_degree"] == 1
+            assert block["comm_time_us"] == 0.0
+            assert block["comm_events"] == 0
+
+    def test_sharding_block_live_when_sharded(self, rng):
+        engine = create_engine(
+            make_encoder(), config=ServingConfig(sharding=ShardingConfig(tp_degree=2))
+        )
+        x = rng.normal(size=(6, HIDDEN)).astype(np.float32)
+        engine.serve([Request("r0", x)])
+        block = engine.stats()["sharding"]
+        assert set(block) == SHARDING_KEYS
+        assert block["tp_degree"] == 2
+        assert block["comm_time_us"] > 0.0
+
+    def test_outcome_block_consistent(self, operand, rng):
+        engine = create_engine(operand)
+        engine.serve([Request("r0", rng.normal(size=(4, 128)).astype(np.float32))])
+        outcomes = engine.stats()["outcomes"]
+        assert outcomes["ok"] == 1
+
+
+class TestConfigDrivenSimulation:
+    def test_config_selects_policy_and_sharding(self, operand, rng):
+        requests = [
+            SimulatedRequest(f"s{i}", tokens=8, arrival_us=20.0 * i) for i in range(6)
+        ]
+        report = simulate_serving(
+            operand,
+            requests,
+            window_us=100.0,
+            config=ServingConfig(scheduling="continuous", padding="exact"),
+        )
+        assert report.window_policy == "continuous"
+        assert report.bucketing == "exact"
+        sharded = simulate_serving(
+            operand,
+            requests,
+            window_us=100.0,
+            config=ServingConfig(sharding=ShardingConfig(tp_degree=2)),
+        )
+        assert sharded.num_requests == 6
+
+    def test_explicit_args_win(self, operand):
+        requests = [SimulatedRequest("s0", tokens=8, arrival_us=0.0)]
+        report = simulate_serving(
+            operand,
+            requests,
+            window_us=0.0,
+            window_policy="fixed",
+            config=ServingConfig(scheduling="continuous"),
+        )
+        assert report.window_policy == "fixed"
+
+    def test_serve_continuous_step_from_config(self, rng):
+        engine = create_engine(
+            make_encoder(),
+            config=ServingConfig(scheduling="continuous", step_us=50.0),
+        )
+        x = rng.normal(size=(4, HIDDEN)).astype(np.float32)
+        results = engine.serve_continuous([Request("r0", x)])
+        assert "r0" in results
