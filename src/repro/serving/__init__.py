@@ -69,10 +69,14 @@ from .config import (
     create_engine,
 )
 from .continuous import (
+    SCHEDULING_POLICIES,
     CompletionRecord,
     ContinuousBatcher,
+    SchedulingConfig,
     plan_continuous_batch,
     plan_continuous_batch_reference,
+    plan_slo_batch,
+    plan_slo_batch_reference,
 )
 from .decoder import DecodeRequest, DecoderServingEngine, decode_reference
 from .engine import ServingEngine
@@ -96,11 +100,19 @@ from .simulate import (
     ChaosSimReport,
     ServingSimReport,
     SimulatedRequest,
+    SLOSimReport,
+    bursty_arrivals,
+    diurnal_arrivals,
+    merge_arrivals,
+    pareto_lengths,
+    per_class_breakdown,
     plan_async_closings,
     poisson_arrivals,
     simulate_chaos,
     simulate_serving,
+    simulate_slo,
     sweep_batch_windows,
+    sweep_slo_overload,
     uniform_arrivals,
 )
 
@@ -113,6 +125,7 @@ __all__ = [
     "OUTCOME_TIMED_OUT",
     "PLACEMENT_POLICIES",
     "SCHEDULING_MODES",
+    "SCHEDULING_POLICIES",
     "AsyncWindowBatcher",
     "BackendExecutionError",
     "BucketKey",
@@ -129,6 +142,8 @@ __all__ = [
     "ModelServingEngine",
     "Request",
     "RequestOutcome",
+    "SLOSimReport",
+    "SchedulingConfig",
     "ShapeBucketBatcher",
     "ShardedDispatcher",
     "ShardingConfig",
@@ -136,15 +151,24 @@ __all__ = [
     "ServingEngine",
     "ServingSimReport",
     "SimulatedRequest",
+    "bursty_arrivals",
     "create_engine",
     "decode_reference",
+    "diurnal_arrivals",
+    "merge_arrivals",
     "outcome_counts",
+    "pareto_lengths",
+    "per_class_breakdown",
     "plan_async_closings",
     "plan_continuous_batch",
     "plan_continuous_batch_reference",
+    "plan_slo_batch",
+    "plan_slo_batch_reference",
     "poisson_arrivals",
     "simulate_chaos",
     "simulate_serving",
+    "simulate_slo",
     "sweep_batch_windows",
+    "sweep_slo_overload",
     "uniform_arrivals",
 ]

@@ -44,13 +44,16 @@ class Request:
     layout; the batcher transposes into the kernel's ``(K, C)`` RHS form.
     ``deadline_us``, when set, is the last engine-clock instant at which
     the request may still complete; a request scheduled later than that is
-    reported ``timed_out`` instead of executing.
+    reported ``timed_out`` instead of executing.  ``priority_class`` is the
+    request's tenant tier for SLO-aware scheduling — larger is more urgent
+    (class 0 = best-effort); FCFS scheduling ignores it entirely.
     """
 
     request_id: str
     activations: np.ndarray
     arrival_us: float = 0.0
     deadline_us: Optional[float] = None
+    priority_class: int = 0
 
     def __post_init__(self) -> None:
         arr = np.asarray(self.activations, dtype=np.float32)
@@ -62,6 +65,11 @@ class Request:
             raise ValueError(
                 f"request {self.request_id!r}: deadline_us ({self.deadline_us}) precedes "
                 f"arrival_us ({self.arrival_us})"
+            )
+        if not isinstance(self.priority_class, int) or self.priority_class < 0:
+            raise ValueError(
+                f"request {self.request_id!r}: priority_class must be a non-negative "
+                f"int, got {self.priority_class!r}"
             )
         object.__setattr__(self, "activations", arr)
 

@@ -29,7 +29,12 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional, Tuple
 
 from .batcher import AsyncWindowBatcher, ShapeBucketBatcher
-from .continuous import SHED_POLICIES, SHED_REJECT_NEWEST, ContinuousBatcher
+from .continuous import (
+    SHED_POLICIES,
+    SHED_REJECT_NEWEST,
+    ContinuousBatcher,
+    SchedulingConfig,
+)
 from .sharded import PLACEMENT_POLICIES, ShardedDispatcher
 from ..hardware.spec import NVLINK, GPUSpec, InterconnectSpec
 
@@ -135,6 +140,12 @@ class ServingConfig:
     sharding:
         Shard topology (:class:`ShardingConfig`); ``tp_degree=1`` default
         is single-device.
+    scheduling_policy:
+        SLO-aware scheduling knobs
+        (:class:`~repro.serving.continuous.SchedulingConfig`): cross-class
+        arbitration (``"fcfs"`` / ``"priority"`` / ``"weighted-fair"``),
+        preemption of held rungs, per-class queue bounds.  Anything beyond
+        the FCFS default requires a continuous batcher.
     """
 
     name: Optional[str] = None
@@ -152,6 +163,7 @@ class ServingConfig:
     warm: bool = True
     warm_buckets: Tuple[int, ...] = ()
     sharding: ShardingConfig = field(default_factory=ShardingConfig)
+    scheduling_policy: SchedulingConfig = field(default_factory=SchedulingConfig)
 
     def __post_init__(self) -> None:
         if self.scheduling not in SCHEDULING_MODES:
@@ -177,6 +189,8 @@ class ServingConfig:
             raise ValueError("block_size and capacity_blocks must be >= 1")
         if not isinstance(self.sharding, ShardingConfig):
             raise TypeError("sharding must be a ShardingConfig")
+        if not isinstance(self.scheduling_policy, SchedulingConfig):
+            raise TypeError("scheduling_policy must be a SchedulingConfig")
 
     # ------------------------------------------------------------------
     # Derived builders the engines call
@@ -209,10 +223,16 @@ class ServingConfig:
                 "max_queue_depth / kv_budget_blocks are admission-control knobs of the "
                 "continuous batcher; set scheduling='continuous' to use them"
             )
+        if not continuous and self.scheduling_policy.active:
+            raise ValueError(
+                "scheduling_policy (priority/weighted-fair/preemption/class bounds) "
+                "needs the continuous batcher; set scheduling='continuous' to use it"
+            )
         extra: dict = {"max_batch_size": self.max_batch_size}
         if continuous:
             cls = ContinuousBatcher
             extra.update(self._admission_kwargs(kv_cost))
+            extra["scheduling"] = self.scheduling_policy
         elif self.scheduling == "async":
             cls = AsyncWindowBatcher
             extra["window_us"] = self.window_us

@@ -82,6 +82,7 @@ class DecodeRequest:
     new_tokens: int
     arrival_us: float = 0.0
     deadline_us: Optional[float] = None
+    priority_class: int = 0
 
     def __post_init__(self) -> None:
         prompt = np.asarray(self.prompt, dtype=np.float32)
@@ -100,6 +101,7 @@ class DecodeRequest:
             activations=self.prompt,
             arrival_us=self.arrival_us,
             deadline_us=self.deadline_us,
+            priority_class=self.priority_class,
         )
 
 
@@ -264,10 +266,16 @@ class DecoderServingEngine(OutcomeTrackingMixin):
         self._new_tokens: Dict[str, int] = {}
         #: in-flight decodes, in admission order (the advance order).
         self._residents: Dict[str, _Resident] = {}
+        #: preempted decodes parked with their KV blocks and generated state
+        #: intact, keyed by request id; they resume bit-exactly when their
+        #: re-queued request is scheduled again.
+        self._preempted: Dict[str, _Resident] = {}
         self.total_requests = 0
         self.total_decode_steps = 0
         self.prefills = 0
         self.prefills_skipped = 0
+        self.preemptions = 0
+        self.resumes = 0
         #: Continuous-serving bookkeeping (same schema as the other engines).
         self.steps_executed = 0
         self.completions: Dict[str, CompletionRecord] = {}
@@ -328,6 +336,7 @@ class DecoderServingEngine(OutcomeTrackingMixin):
             )
         self._drain_admission()
         self._expire_pending(now_us)
+        self._preempt_for(now_us)
         step_index = self.steps_executed
         batch = next_batch(now_us)
         newly: List[_Resident] = []
@@ -345,11 +354,61 @@ class DecoderServingEngine(OutcomeTrackingMixin):
             self.steps_executed += 1
         return results
 
+    def _preempt_for(self, now_us: float) -> None:
+        """Evict lower-class residents blocking the policy's chosen rung.
+
+        Only acts when the batcher's :class:`SchedulingConfig` enables
+        preemption: while the most urgent schedulable chunk sits on a fully
+        held rung with a strictly lower-class holder, that holder releases
+        its slot, parks in ``_preempted`` *keeping its KV blocks, feed and
+        generated rows*, and its request re-queues at its original
+        ``(arrival_us, request_id)`` rank — so the preempted decode resumes
+        bit-exactly once a slot frees up again.  Occupancy strictly drops
+        every iteration, so the loop terminates.
+        """
+        preemption_target = getattr(self.batcher, "preemption_target", None)
+        if preemption_target is None:
+            return
+        while True:
+            target = preemption_target(now_us)
+            if target is None:
+                return
+            key, head = target
+            victim_rid = self.batcher.preemption_victim(key, head.priority_class)
+            if victim_rid is None or victim_rid not in self._residents:
+                return
+            resident = self._residents.pop(victim_rid)
+            self.batcher.release_slot(key, victim_rid)
+            self._preempted[victim_rid] = resident
+            self.batcher.requeue(resident.request)
+            self.preemptions += 1
+
+    def _expire_pending(self, now_us: float) -> None:
+        """Queue expiry, plus teardown of preempted-then-expired decodes.
+
+        A preempted decode waits in the queue like any request, so its
+        deadline can pass before a slot frees up; when the batcher evicts
+        it, its parked KV blocks must be freed too (the eviction already
+        returned its budget reservation).
+        """
+        super()._expire_pending(now_us)
+        for rid in [r for r in self._preempted if not self.batcher.is_queued(r)]:
+            del self._preempted[rid]
+            self.kv.free(rid)
+            self._new_tokens.pop(rid, None)
+
     def _admit_resident(
         self, req: Request, key: BucketKey, now_us: float
     ) -> Optional[_Resident]:
         """Prefill (or prefix-attach) one popped request; pin its rung slot."""
         rid = req.request_id
+        parked = self._preempted.pop(rid, None)
+        if parked is not None:
+            # Resuming a preempted decode: KV blocks, feed and generated
+            # rows were retained, so no prefill — just re-pin the slot.
+            self.batcher.acquire_slot(key, req)
+            self.resumes += 1
+            return parked
         new_tokens = self._new_tokens.get(rid)
         if new_tokens is None:
             raise ValueError(
@@ -376,7 +435,7 @@ class DecoderServingEngine(OutcomeTrackingMixin):
             self._new_tokens.pop(rid, None)
             self._record_outcome(rid, OUTCOME_FAILED, str(exc), now_us)
             return None
-        self.batcher.acquire_slot(key)
+        self.batcher.acquire_slot(key, req)
         self.total_requests += 1
         return _Resident(
             request=req, key=key, new_tokens=new_tokens, feed=feed, handle=handle
@@ -420,7 +479,7 @@ class DecoderServingEngine(OutcomeTrackingMixin):
         rid = resident.request.request_id
         del self._residents[rid]
         self.kv.free(rid)
-        self.batcher.release_slot(resident.key)
+        self.batcher.release_slot(resident.key, rid)
         self.batcher.release_kv(rid)
         self._new_tokens.pop(rid, None)
         self._record_outcome(rid, status, detail, now_us)
@@ -490,6 +549,9 @@ class DecoderServingEngine(OutcomeTrackingMixin):
             "prefills": self.prefills,
             "prefills_skipped": self.prefills_skipped,
             "residents": len(self._residents),
+            "preemptions": self.preemptions,
+            "resumes": self.resumes,
+            "preempted_parked": len(self._preempted),
             "continuous": continuous_stats_of(self),
             "outcomes": self.outcome_stats(),
             "dispatch_health": self.dispatcher.health_stats(),

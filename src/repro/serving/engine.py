@@ -69,6 +69,8 @@ def admission_stats_of(batcher) -> Dict[str, object]:
         "kv_budget_blocks": None,
         "kv_reserved": 0,
         "occupied_slots": 0,
+        "policy": None,
+        "per_class": {0: {"shed": 0, "expired": 0, "pending": 0}},
     }
 
 

@@ -26,7 +26,13 @@ import numpy as np
 
 from .batcher import BucketKey, ShapeBucketBatcher
 from .config import ServingConfig
-from .continuous import SHED_POLICIES, SHED_DROP_EXPIRED, plan_continuous_batch
+from .continuous import (
+    SHED_POLICIES,
+    SHED_DROP_EXPIRED,
+    SchedulingConfig,
+    plan_continuous_batch,
+    plan_slo_batch,
+)
 from .faults import (
     OUTCOME_FAILED,
     OUTCOME_OK,
@@ -48,6 +54,8 @@ class SimulatedRequest:
     arrival_us: float = 0.0
     #: Last instant the request may still complete (None = no deadline).
     deadline_us: Optional[float] = None
+    #: Tenant tier for SLO-aware scheduling (larger = more urgent).
+    priority_class: int = 0
 
     def __post_init__(self) -> None:
         if self.tokens <= 0:
@@ -57,6 +65,11 @@ class SimulatedRequest:
         if self.deadline_us is not None and self.deadline_us < self.arrival_us:
             raise ValueError(
                 f"request {self.request_id!r}: deadline_us precedes arrival_us"
+            )
+        if not isinstance(self.priority_class, int) or self.priority_class < 0:
+            raise ValueError(
+                f"request {self.request_id!r}: priority_class must be a "
+                f"non-negative int, got {self.priority_class!r}"
             )
 
 
@@ -91,6 +104,7 @@ def poisson_arrivals(
     seed: int = 0,
     deadline_after_us: Optional[float] = None,
     prefix: str = "req",
+    priority_class: int = 0,
 ) -> List[SimulatedRequest]:
     """Seeded Poisson arrivals at mean ``rate_rps`` with cycling token counts.
 
@@ -111,19 +125,175 @@ def poisson_arrivals(
         raise ValueError("deadline_after_us must be non-negative")
     rng = np.random.default_rng(int(seed))
     arrivals = np.cumsum(rng.exponential(1e6 / rate_rps, size=num_requests))
+    return _stamp_requests(arrivals, tokens, deadline_after_us, prefix, priority_class)
+
+
+def _stamp_requests(
+    arrivals_us,
+    tokens: Sequence[int],
+    deadline_after_us: Optional[float],
+    prefix: str,
+    priority_class: int,
+) -> List[SimulatedRequest]:
+    """Turn a generated arrival-time sequence into stamped requests."""
     return [
         SimulatedRequest(
             request_id=f"{prefix}-{i:06d}",
             tokens=int(tokens[i % len(tokens)]),
-            arrival_us=float(arrivals[i]),
+            arrival_us=float(t),
             deadline_us=(
-                float(arrivals[i]) + deadline_after_us
-                if deadline_after_us is not None
-                else None
+                float(t) + deadline_after_us if deadline_after_us is not None else None
             ),
+            priority_class=priority_class,
         )
-        for i in range(num_requests)
+        for i, t in enumerate(arrivals_us)
     ]
+
+
+def _check_traffic_args(
+    num_requests: int, tokens: Sequence[int], deadline_after_us: Optional[float]
+) -> None:
+    if num_requests <= 0:
+        raise ValueError("num_requests must be positive")
+    if not tokens:
+        raise ValueError("tokens must be non-empty")
+    if deadline_after_us is not None and deadline_after_us < 0:
+        raise ValueError("deadline_after_us must be non-negative")
+
+
+def bursty_arrivals(
+    num_requests: int,
+    base_rate_rps: float,
+    burst_rate_rps: float,
+    tokens: Sequence[int],
+    mean_dwell_us: float = 50_000.0,
+    seed: int = 0,
+    deadline_after_us: Optional[float] = None,
+    prefix: str = "req",
+    priority_class: int = 0,
+) -> List[SimulatedRequest]:
+    """Seeded two-state MMPP (on-off) arrivals: Poisson bursts over a base.
+
+    The bursty traffic model of production multi-tenant serving: the
+    arrival process alternates between a *base* state (rate
+    ``base_rate_rps``) and a *burst* state (``burst_rate_rps``), dwelling
+    in each for an exponential time of mean ``mean_dwell_us``; within a
+    state, arrivals are Poisson at that state's rate.  The crossing gap at
+    a state switch is discarded and redrawn at the new rate, which is
+    exact for Poisson processes (memorylessness), so the sample path is a
+    true Markov-modulated Poisson process — and fully replayable from
+    ``seed``.  The long-run mean rate is the average of the two rates; the
+    variance of windowed counts is strictly super-Poisson whenever the
+    rates differ (the burstiness the statistical tests check).
+    """
+    _check_traffic_args(num_requests, tokens, deadline_after_us)
+    if base_rate_rps <= 0 or burst_rate_rps <= 0:
+        raise ValueError("base_rate_rps and burst_rate_rps must be positive")
+    if mean_dwell_us <= 0:
+        raise ValueError("mean_dwell_us must be positive")
+    rng = np.random.default_rng(int(seed))
+    rates = (base_rate_rps, burst_rate_rps)
+    state = 0
+    t = 0.0
+    state_end = float(rng.exponential(mean_dwell_us))
+    arrivals: List[float] = []
+    while len(arrivals) < num_requests:
+        gap = float(rng.exponential(1e6 / rates[state]))
+        if t + gap <= state_end:
+            t += gap
+            arrivals.append(t)
+        else:
+            t = state_end
+            state = 1 - state
+            state_end = t + float(rng.exponential(mean_dwell_us))
+    return _stamp_requests(arrivals, tokens, deadline_after_us, prefix, priority_class)
+
+
+def diurnal_arrivals(
+    num_requests: int,
+    peak_rate_rps: float,
+    trough_rate_rps: float,
+    tokens: Sequence[int],
+    period_us: float = 1e6,
+    seed: int = 0,
+    deadline_after_us: Optional[float] = None,
+    prefix: str = "req",
+    priority_class: int = 0,
+) -> List[SimulatedRequest]:
+    """Seeded diurnal (sinusoidal-rate) arrivals via Poisson thinning.
+
+    A non-homogeneous Poisson process whose instantaneous rate swings
+    sinusoidally between ``trough_rate_rps`` and ``peak_rate_rps`` with
+    period ``period_us`` (the day/night cycle, compressed to simulation
+    scale).  Implemented by thinning: candidates arrive at the peak rate
+    and are accepted with probability ``rate(t) / peak`` — the standard
+    exact sampler for time-varying Poisson processes, deterministic from
+    ``seed``.
+    """
+    _check_traffic_args(num_requests, tokens, deadline_after_us)
+    if trough_rate_rps <= 0 or peak_rate_rps < trough_rate_rps:
+        raise ValueError("need 0 < trough_rate_rps <= peak_rate_rps")
+    if period_us <= 0:
+        raise ValueError("period_us must be positive")
+    rng = np.random.default_rng(int(seed))
+    t = 0.0
+    arrivals: List[float] = []
+    while len(arrivals) < num_requests:
+        t += float(rng.exponential(1e6 / peak_rate_rps))
+        rate = trough_rate_rps + (peak_rate_rps - trough_rate_rps) * 0.5 * (
+            1.0 + np.sin(2.0 * np.pi * t / period_us)
+        )
+        if rng.uniform() < rate / peak_rate_rps:
+            arrivals.append(t)
+    return _stamp_requests(arrivals, tokens, deadline_after_us, prefix, priority_class)
+
+
+def pareto_lengths(
+    num_requests: int,
+    alpha: float = 1.5,
+    min_tokens: int = 1,
+    max_tokens: int = 512,
+    seed: int = 0,
+) -> List[int]:
+    """Seeded heavy-tailed (Pareto) token counts, clipped to a ceiling.
+
+    Sequence lengths in production traffic are heavy-tailed: most requests
+    are short, a few are enormous.  Draws ``min_tokens * (1 + Pareto(alpha))``
+    — a Pareto distribution with scale ``min_tokens`` and tail index
+    ``alpha`` (smaller alpha = heavier tail) — and clips at ``max_tokens``
+    (real servers cap context length).  Feed the result to any arrival
+    generator's ``tokens=`` (lengths cycle, and the list is exactly
+    ``num_requests`` long, so each request gets its own draw).
+    """
+    if num_requests <= 0:
+        raise ValueError("num_requests must be positive")
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    if min_tokens < 1 or max_tokens < min_tokens:
+        raise ValueError("need 1 <= min_tokens <= max_tokens")
+    rng = np.random.default_rng(int(seed))
+    draws = min_tokens * (1.0 + rng.pareto(alpha, size=num_requests))
+    return [int(min(float(max_tokens), d)) for d in draws]
+
+
+def merge_arrivals(*streams: Sequence[SimulatedRequest]) -> List[SimulatedRequest]:
+    """Merge per-tenant arrival streams into one multi-tenant trace.
+
+    Each stream keeps its own ids (use distinct ``prefix``es per tenant)
+    and priority classes; the merge is sorted by ``(arrival_us,
+    request_id)`` — the scheduler-facing order.  Duplicate ids across
+    streams are rejected (they would collide in the engines' queues).
+    """
+    merged: List[SimulatedRequest] = [req for stream in streams for req in stream]
+    seen = set()
+    for req in merged:
+        if req.request_id in seen:
+            raise ValueError(
+                f"duplicate request_id {req.request_id!r} across merged streams; "
+                f"give each tenant its own prefix"
+            )
+        seen.add(req.request_id)
+    return sorted(merged, key=lambda r: (r.arrival_us, r.request_id))
 
 
 @dataclass
@@ -474,6 +644,53 @@ def sweep_batch_windows(
     ]
 
 
+def per_class_breakdown(
+    outcomes: Dict[str, str],
+    classes: Dict[str, int],
+    latencies_us: Dict[str, float],
+    num_classes: int = 1,
+) -> Dict[int, Dict[str, object]]:
+    """Per-priority-class outcome/latency blocks, normalized.
+
+    One block per class covering outcome counts, shed/violation rates and
+    p50/p99/p999 completion latency.  Always covers classes
+    ``0..num_classes-1`` even when unused (zero counts, ``NaN``
+    percentiles — "no data", never "zero latency"), plus every class
+    actually observed, so the schema is stable whether or not the run used
+    priority classes at all.  Shared by :class:`ChaosSimReport` and
+    :class:`SLOSimReport`.
+    """
+    ids = set(range(max(num_classes, 1)))
+    ids.update(classes.values())
+    by_class: Dict[int, List[str]] = {cls: [] for cls in ids}
+    for rid, cls in classes.items():
+        by_class[cls].append(rid)
+    blocks: Dict[int, Dict[str, object]] = {}
+    for cls in sorted(ids):
+        rids = by_class[cls]
+        counts = {state: 0 for state in OUTCOME_STATES}
+        for rid in rids:
+            status = outcomes.get(rid)
+            if status is not None:
+                counts[status] += 1
+        lat = [latencies_us[rid] for rid in rids if rid in latencies_us]
+
+        def pct(q: float) -> float:
+            return float(np.percentile(lat, q)) if lat else float("nan")
+
+        n = len(rids)
+        blocks[cls] = {
+            "requests": n,
+            **counts,
+            "shed_rate": counts[OUTCOME_SHED] / n if n else 0.0,
+            "violation_rate": counts[OUTCOME_TIMED_OUT] / n if n else 0.0,
+            "p50_latency_us": pct(50),
+            "p99_latency_us": pct(99),
+            "p999_latency_us": pct(99.9),
+        }
+    return blocks
+
+
 @dataclass
 class ChaosSimReport:
     """Outcome of one chaos scenario: availability, goodput, tails, health.
@@ -490,6 +707,8 @@ class ChaosSimReport:
     outcomes: Dict[str, str] = field(default_factory=dict)
     #: Completion latency (finish - arrival) of the ok requests only.
     latencies_us: Dict[str, float] = field(default_factory=dict)
+    #: Priority class per request id (empty = every request was class 0).
+    classes: Dict[str, int] = field(default_factory=dict)
     trace: ExecutionTrace = field(default_factory=ExecutionTrace)
     #: Circuit-breaker traffic of the modelled executor.
     failovers: int = 0
@@ -504,6 +723,11 @@ class ChaosSimReport:
         for status in self.outcomes.values():
             out[status] += 1
         return out
+
+    def per_class(self) -> Dict[int, Dict[str, object]]:
+        """Per-priority-class counts/rates/percentiles (normalized: a
+        class-free run reports one zero-padded class-0 block)."""
+        return per_class_breakdown(self.outcomes, self.classes, self.latencies_us)
 
     @property
     def availability(self) -> float:
@@ -561,6 +785,7 @@ class ChaosSimReport:
             "quarantines": self.quarantines,
             "readmissions": self.readmissions,
             "injected_failures": self.injected_failures,
+            "per_class": self.per_class(),
         }
 
 
@@ -614,6 +839,7 @@ def simulate_chaos(
     outcomes: Dict[str, str] = {}
     latencies: Dict[str, float] = {}
     report = ChaosSimReport(seed=plan.seed, num_requests=len(requests), makespan_us=0.0)
+    report.classes = {req.request_id: req.priority_class for req in requests}
     # Modelled executor health state (mirrors KernelDispatcher's breaker).
     calls: Dict[str, int] = {}
     streaks: Dict[str, int] = {}
@@ -740,3 +966,311 @@ def simulate_chaos(
     report.latencies_us = latencies
     report.trace = trace
     return report
+
+
+@dataclass
+class SLOSimReport:
+    """Outcome of one SLO-scheduling run: per-class tails, sheds, violations.
+
+    The per-class counterpart of :class:`ChaosSimReport` (same outcome
+    vocabulary, same NaN-on-empty percentile convention): everything the
+    brownout/overload sweeps read — shed and deadline-violation rates and
+    p50/p99/p999 completion latency — is available both globally and
+    broken out by priority class (:meth:`per_class`).  Deterministic: the
+    same (requests, scheduling, knobs) replays to the identical report.
+    """
+
+    policy: str
+    num_requests: int
+    makespan_us: float
+    load_factor: float = 1.0
+    num_batches: int = 0
+    #: Terminal state per request id (one of OUTCOME_STATES).
+    outcomes: Dict[str, str] = field(default_factory=dict)
+    #: Completion latency (finish - arrival) of the ok requests only.
+    latencies_us: Dict[str, float] = field(default_factory=dict)
+    #: Priority class per request id.
+    classes: Dict[str, int] = field(default_factory=dict)
+    #: Classes the scheduling config names (normalizes :meth:`per_class`).
+    num_classes: int = 1
+    trace: ExecutionTrace = field(default_factory=ExecutionTrace)
+
+    def counts(self) -> Dict[str, int]:
+        """Requests per terminal state (all four keys always present)."""
+        out = {state: 0 for state in OUTCOME_STATES}
+        for status in self.outcomes.values():
+            out[status] += 1
+        return out
+
+    def per_class(self) -> Dict[int, Dict[str, object]]:
+        """Per-priority-class counts/rates/percentiles, normalized (zeroed
+        blocks for configured-but-unused classes)."""
+        return per_class_breakdown(
+            self.outcomes, self.classes, self.latencies_us, self.num_classes
+        )
+
+    @property
+    def availability(self) -> float:
+        """Fraction of requests that completed ``ok``."""
+        return self.counts()[OUTCOME_OK] / self.num_requests if self.num_requests else 0.0
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of requests refused by admission control."""
+        return self.counts()[OUTCOME_SHED] / self.num_requests if self.num_requests else 0.0
+
+    @property
+    def violation_rate(self) -> float:
+        """Fraction of requests that missed their deadline."""
+        return (
+            self.counts()[OUTCOME_TIMED_OUT] / self.num_requests
+            if self.num_requests
+            else 0.0
+        )
+
+    def _percentile(self, q: float) -> float:
+        values = list(self.latencies_us.values())
+        return float(np.percentile(values, q)) if values else float("nan")
+
+    @property
+    def p50_latency_us(self) -> float:
+        return self._percentile(50)
+
+    @property
+    def p99_latency_us(self) -> float:
+        return self._percentile(99)
+
+    @property
+    def p999_latency_us(self) -> float:
+        return self._percentile(99.9)
+
+    def summary(self) -> Dict[str, object]:
+        """Flat record for tables/JSON (one row of an overload sweep)."""
+        counts = self.counts()
+        return {
+            "policy": self.policy,
+            "load_factor": self.load_factor,
+            "requests": self.num_requests,
+            "batches": self.num_batches,
+            "availability": round(self.availability, 4),
+            "shed_rate": round(self.shed_rate, 4),
+            "violation_rate": round(self.violation_rate, 4),
+            "ok": counts[OUTCOME_OK],
+            "timed_out": counts[OUTCOME_TIMED_OUT],
+            "shed": counts[OUTCOME_SHED],
+            "p50_latency_us": round(self.p50_latency_us, 1),
+            "p99_latency_us": round(self.p99_latency_us, 1),
+            "p999_latency_us": round(self.p999_latency_us, 1),
+            "per_class": self.per_class(),
+        }
+
+
+def simulate_slo(
+    operand: SpmmOperand,
+    requests: Sequence[SimulatedRequest],
+    scheduling: Optional[SchedulingConfig] = None,
+    dispatcher: Optional[KernelDispatcher] = None,
+    batcher: Optional[ShapeBucketBatcher] = None,
+    bucketing: str = "ladder",
+    max_queue_depth: Optional[int] = None,
+    shed_policy: str = "reject-newest",
+    load_factor: float = 1.0,
+) -> SLOSimReport:
+    """Replay a traffic trace through the real SLO scheduler, per class.
+
+    The capacity-question surface of SLO-aware scheduling: the executor
+    runs the same serial modelled-GPU clock as ``simulate_serving``'s
+    continuous mode, but chunk selection is :func:`plan_slo_batch` under
+    ``scheduling`` — the *identical* planner the live
+    :class:`~repro.serving.continuous.ContinuousBatcher` schedules with,
+    weighted-fair deficit state included — and admission control applies
+    the same per-class queue bounds
+    (:meth:`SchedulingConfig.queue_bound_of`).  Deadlines are enforced at
+    scheduling time (expired requests never occupy a slot) and at
+    completion time; both report ``timed_out`` — the *violations* of the
+    per-class SLO report.
+
+    ``load_factor`` compresses the trace's arrival times by that factor
+    (deadline offsets preserved), so overload and brownout behaviour can
+    be swept from one base trace (:func:`sweep_slo_overload`).
+    Deterministic end to end: no wall clock, no global RNG.
+    """
+    if bucketing not in {"ladder", "exact"}:
+        raise ValueError(f"unknown bucketing {bucketing!r}; use 'ladder' or 'exact'")
+    if shed_policy not in SHED_POLICIES:
+        raise ValueError(f"shed_policy must be one of {SHED_POLICIES}, got {shed_policy!r}")
+    if max_queue_depth is not None and max_queue_depth < 1:
+        raise ValueError("max_queue_depth must be >= 1 (or None for unbounded)")
+    if load_factor <= 0:
+        raise ValueError("load_factor must be positive")
+    if not requests:
+        raise ValueError("requests must be non-empty")
+    scheduling = scheduling if scheduling is not None else SchedulingConfig()
+    dispatcher = dispatcher if dispatcher is not None else KernelDispatcher()
+    batcher = batcher if batcher is not None else ShapeBucketBatcher()
+    if load_factor != 1.0:
+        requests = [
+            SimulatedRequest(
+                request_id=r.request_id,
+                tokens=r.tokens,
+                arrival_us=r.arrival_us / load_factor,
+                deadline_us=(
+                    r.arrival_us / load_factor + (r.deadline_us - r.arrival_us)
+                    if r.deadline_us is not None
+                    else None
+                ),
+                priority_class=r.priority_class,
+            )
+            for r in requests
+        ]
+
+    def bucket_tokens(tokens: int) -> int:
+        return tokens if bucketing == "exact" else batcher.token_bucket(tokens)
+
+    trace = ExecutionTrace()
+    outcomes: Dict[str, str] = {}
+    latencies: Dict[str, float] = {}
+    served_by_class: Dict[int, int] = {}
+    pending_by_class: Dict[int, int] = {}
+    gpu_free_us = 0.0
+    makespan_us = 0.0
+    num_batches = 0
+
+    def over_capacity(cls: int, queued: int) -> bool:
+        if max_queue_depth is not None and queued >= max_queue_depth:
+            return True
+        bound = scheduling.queue_bound_of(cls, max_queue_depth)
+        return bound is not None and pending_by_class.get(cls, 0) >= bound
+
+    def drop(reqs: List[SimulatedRequest], pending: List[SimulatedRequest]):
+        gone = {r.request_id for r in reqs}
+        for r in reqs:
+            pending_by_class[r.priority_class] -= 1
+        return [p for p in pending if p.request_id not in gone]
+
+    def execute_chunk(key: BucketKey, chunk: List[SimulatedRequest], ready_us: float) -> None:
+        nonlocal gpu_free_us, makespan_us, num_batches
+        c_total = len(chunk) * key.token_bucket
+        decision = dispatcher.dispatch(operand, key.token_bucket)
+        modelled = dispatcher.estimate(operand, c_total, backend=decision.backend)
+        start_us = max(ready_us, gpu_free_us)
+        finish_us = start_us + modelled.time_us
+        gpu_free_us = finish_us
+        makespan_us = max(makespan_us, finish_us)
+        num_batches += 1
+        execution = modelled.as_execution(category="gemm")
+        execution.meta.update(
+            {
+                "backend": decision.backend,
+                "batch_size": len(chunk),
+                "token_bucket": key.token_bucket,
+                "start_us": start_us,
+            }
+        )
+        trace.record(execution)
+        for req in chunk:
+            if req.deadline_us is not None and finish_us > req.deadline_us:
+                outcomes[req.request_id] = OUTCOME_TIMED_OUT
+            else:
+                outcomes[req.request_id] = OUTCOME_OK
+                latencies[req.request_id] = finish_us - req.arrival_us
+
+    order = sorted(requests, key=lambda r: (r.arrival_us, r.request_id))
+    pending: List[SimulatedRequest] = []
+    admitted_idx = 0
+    while admitted_idx < len(order) or pending:
+        now_us = gpu_free_us
+        if not pending and admitted_idx < len(order) and order[admitted_idx].arrival_us > now_us:
+            now_us = order[admitted_idx].arrival_us
+        while admitted_idx < len(order) and order[admitted_idx].arrival_us <= now_us:
+            req = order[admitted_idx]
+            admitted_idx += 1
+            cls = req.priority_class
+            if over_capacity(cls, len(pending)):
+                if shed_policy == SHED_DROP_EXPIRED:
+                    doomed = [
+                        p
+                        for p in pending
+                        if p.deadline_us is not None and p.deadline_us < req.arrival_us
+                    ]
+                    if doomed:
+                        pending = drop(doomed, pending)
+                        for p in doomed:
+                            outcomes[p.request_id] = OUTCOME_TIMED_OUT
+                if over_capacity(cls, len(pending)):
+                    outcomes[req.request_id] = OUTCOME_SHED
+                    continue
+            pending.append(req)
+            pending_by_class[cls] = pending_by_class.get(cls, 0) + 1
+        # Scheduling-time deadline enforcement.
+        expired = [p for p in pending if p.deadline_us is not None and p.deadline_us < now_us]
+        if expired:
+            pending = drop(expired, pending)
+            for p in expired:
+                outcomes[p.request_id] = OUTCOME_TIMED_OUT
+        if not pending:
+            continue
+        key, chunk = plan_slo_batch(
+            pending,
+            key_of=lambda r: BucketKey(features=operand.k, token_bucket=bucket_tokens(r.tokens)),
+            arrival_of=lambda r: r.arrival_us,
+            id_of=lambda r: r.request_id,
+            max_batch_size=batcher.max_batch_size,
+            class_of=lambda r: r.priority_class,
+            deadline_of=lambda r: r.deadline_us,
+            policy=scheduling.policy,
+            class_weights=scheduling.class_weights,
+            served_by_class=served_by_class,
+        )
+        pending = drop(chunk, pending)
+        for req in chunk:
+            served_by_class[req.priority_class] = (
+                served_by_class.get(req.priority_class, 0) + 1
+            )
+        execute_chunk(key, chunk, now_us)
+
+    return SLOSimReport(
+        policy=scheduling.policy,
+        num_requests=len(requests),
+        makespan_us=makespan_us,
+        load_factor=load_factor,
+        num_batches=num_batches,
+        outcomes=outcomes,
+        latencies_us=latencies,
+        classes={req.request_id: req.priority_class for req in requests},
+        num_classes=scheduling.num_classes,
+        trace=trace,
+    )
+
+
+def sweep_slo_overload(
+    operand: SpmmOperand,
+    requests: Sequence[SimulatedRequest],
+    load_factors: Sequence[float],
+    scheduling: Optional[SchedulingConfig] = None,
+    dispatcher: Optional[KernelDispatcher] = None,
+    **kwargs,
+) -> List[SLOSimReport]:
+    """Overload/brownout sweep: one :func:`simulate_slo` run per load factor.
+
+    Each factor compresses the base trace's arrival times by that much
+    (2.0 = twice the offered load), so a single seeded trace answers the
+    brownout question — *which class sheds, and whose tail blows up, as
+    load climbs past capacity?*  A shared dispatcher keeps the
+    decision/tuner caches warm across the sweep, mirroring a long-running
+    server.
+    """
+    if not load_factors:
+        raise ValueError("load_factors must be non-empty")
+    dispatcher = dispatcher if dispatcher is not None else KernelDispatcher()
+    return [
+        simulate_slo(
+            operand,
+            requests,
+            scheduling=scheduling,
+            dispatcher=dispatcher,
+            load_factor=factor,
+            **kwargs,
+        )
+        for factor in load_factors
+    ]

@@ -27,6 +27,7 @@ from repro.serving import (
     DecoderServingEngine,
     ModelServingEngine,
     Request,
+    SchedulingConfig,
     ServingConfig,
     ServingEngine,
     ShapeBucketBatcher,
@@ -114,6 +115,34 @@ class TestServingConfig:
     def test_exact_padding_rejects_token_buckets(self):
         with pytest.raises(ValueError):
             ServingConfig(token_buckets=(8, 16)).build_batcher(kind="encoder")
+
+    def test_scheduling_policy_type_checked(self):
+        with pytest.raises(TypeError):
+            ServingConfig(scheduling_policy="priority")
+
+    def test_scheduling_policy_requires_continuous(self):
+        active = SchedulingConfig(policy="priority", preemption=True)
+        with pytest.raises(ValueError, match="continuous"):
+            ServingConfig(scheduling_policy=active).build_batcher()
+        with pytest.raises(ValueError, match="continuous"):
+            ServingConfig(scheduling="async", scheduling_policy=active).build_batcher()
+        batcher = ServingConfig(
+            scheduling="continuous", scheduling_policy=active
+        ).build_batcher()
+        assert batcher.scheduling is active
+        # The decoder's batcher is always continuous, so it may carry the
+        # policy whatever `scheduling` says.
+        decoder_batcher = ServingConfig(scheduling_policy=active).build_batcher(
+            kind="decoder"
+        )
+        assert decoder_batcher.scheduling is active
+
+    def test_inactive_default_scheduling_policy_builds_everywhere(self):
+        # The FCFS default must never trip the continuous-only check.
+        assert isinstance(ServingConfig().build_batcher(), ShapeBucketBatcher)
+        assert isinstance(
+            ServingConfig(scheduling="async").build_batcher(), AsyncWindowBatcher
+        )
 
     def test_build_dispatcher_only_when_sharded(self):
         assert ServingConfig().build_dispatcher() is None
@@ -248,6 +277,54 @@ class TestNormalizedStatsSchema:
         engine.serve([Request("r0", rng.normal(size=(4, 128)).astype(np.float32))])
         outcomes = engine.stats()["outcomes"]
         assert outcomes["ok"] == 1
+
+    def test_admission_block_carries_policy_and_per_class_everywhere(self, operand):
+        """The SLO fields are part of the normalized schema: every engine's
+        admission block has ``policy`` and ``per_class``, zeroed/None when
+        the feature is unused (non-continuous batchers report policy=None
+        with one zeroed class-0 block)."""
+        zeroed = {"shed": 0, "expired": 0, "pending": 0}
+        for engine in self.engines(operand):
+            admission = engine.stats()["admission"]
+            assert "policy" in admission
+            assert "per_class" in admission
+            if isinstance(engine.batcher, ContinuousBatcher):
+                assert admission["policy"] == "fcfs"
+            else:
+                assert admission["policy"] is None
+            assert admission["per_class"] == {0: zeroed}
+
+    def test_per_class_block_reflects_configured_classes(self, rng):
+        """A configured class shows up zeroed even before any traffic, and
+        live counts land in the right class."""
+        engine = create_engine(
+            make_encoder(),
+            kind="decoder",
+            config=ServingConfig(
+                max_queue_depth=1,
+                scheduling_policy=SchedulingConfig(
+                    policy="priority", class_weights=(1, 2)
+                ),
+            ),
+        )
+        admission = engine.stats()["admission"]
+        assert admission["policy"] == "priority"
+        zeroed = {"shed": 0, "expired": 0, "pending": 0}
+        assert admission["per_class"] == {0: zeroed, 1: zeroed}
+        # Overflow the depth-1 queue with class-1 traffic: the shed lands
+        # in class 1's block, class 0 stays zeroed.
+        for i in range(2):
+            engine.submit(
+                DecodeRequest(
+                    f"pc-{i}",
+                    rng.normal(size=(4, HIDDEN)).astype(np.float32),
+                    new_tokens=2,
+                    priority_class=1,
+                )
+            )
+        admission = engine.stats()["admission"]
+        assert admission["per_class"][0] == zeroed
+        assert admission["per_class"][1] == {"shed": 1, "expired": 0, "pending": 1}
 
 
 class TestConfigDrivenSimulation:

@@ -21,6 +21,7 @@ from repro.serving import (
     ContinuousBatcher,
     ModelServingEngine,
     Request,
+    SchedulingConfig,
     ServingEngine,
     plan_continuous_batch,
     plan_continuous_batch_reference,
@@ -434,6 +435,89 @@ class TestContinuousServingBitExactness:
             "steps": engine.steps_executed,
             "completions": len(requests),
         }
+
+
+def run_slo_golden_cell(rng, padding, policy, arrivals, step_us, classes=None):
+    """One priority golden cell: SLO-scheduled continuous serving must stay
+    bit-for-bit N sequential forwards — the scheduling policy only reorders
+    *when* requests run, never their numbers."""
+    lengths = [1, 5, 7, 8, 9, 12, 17, 17]
+    requests = make_requests(rng, lengths)
+    baseline = ModelServingEngine(make_encoder(), padding=padding).serve(requests)
+    classes = classes if classes is not None else [i % 3 for i in range(len(lengths))]
+    scheduling = SchedulingConfig(policy=policy, class_weights=(1, 2, 4))
+    engine = continuous_engine(padding, scheduling=scheduling)
+    timed = [
+        Request(r.request_id, r.activations, arrival_us=a, priority_class=c)
+        for r, a, c in zip(requests, arrivals, classes)
+    ]
+    results = engine.serve_continuous(timed, step_us=step_us)
+    assert set(results) == set(baseline)
+    for rid in baseline:
+        assert np.array_equal(results[rid], baseline[rid]), (
+            padding, policy, arrivals, step_us, rid,
+        )
+    assert engine.batcher.admission_stats()["policy"] == policy
+
+
+class TestSLOSchedulingBitExactness:
+    """The golden-matrix cells the SLO tentpole adds: priority and
+    weighted-fair scheduling reorder execution but preserve every bit.
+    Scheduling is numerics-free — these cells pin that it stays so."""
+
+    ARRIVAL_PATTERNS = TestContinuousServingBitExactness.ARRIVAL_PATTERNS
+
+    @pytest.mark.parametrize(
+        "padding,policy,pattern_idx,step_us",
+        [
+            ("ladder", "priority", 0, 0.0),
+            ("ladder", "weighted-fair", 1, 75.0),
+            ("exact", "priority", 2, 75.0),
+            ("exact", "weighted-fair", 3, 0.0),
+        ],
+        ids=[
+            "ladder-priority-burst",
+            "ladder-wf-trickle",
+            "exact-priority-reversed",
+            "exact-wf-clumps",
+        ],
+    )
+    def test_smoke_cells(self, rng, padding, policy, pattern_idx, step_us):
+        run_slo_golden_cell(
+            rng, padding, policy, self.ARRIVAL_PATTERNS[pattern_idx], step_us
+        )
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("padding", ["ladder", "exact"])
+    @pytest.mark.parametrize("policy", ["priority", "weighted-fair"])
+    @pytest.mark.parametrize("pattern_idx", [0, 1, 2, 3])
+    @pytest.mark.parametrize("step_us", [0.0, 75.0, 1500.0])
+    def test_full_grid(self, rng, padding, policy, pattern_idx, step_us):
+        run_slo_golden_cell(
+            rng, padding, policy, self.ARRIVAL_PATTERNS[pattern_idx], step_us
+        )
+
+    def test_priority_reorders_execution_but_not_bits(self, rng):
+        """The policy visibly changes the schedule (the high class completes
+        in the earliest step despite arriving last) while outputs stay
+        bit-exact — scheduling moved work, never numerics."""
+        engine = continuous_engine(
+            "ladder", max_batch_size=1,
+            scheduling=SchedulingConfig(policy="priority"),
+        )
+        low_a, low_b = make_requests(rng, [5, 6], arrivals=[0.0, 0.0], prefix="low")
+        (vip,) = make_requests(rng, [7], arrivals=[0.0], prefix="vip")
+        # Same instant, submitted last, lowest id-rank loses under FCFS —
+        # only the class can put it first.
+        vip = Request(vip.request_id, vip.activations, arrival_us=0.0, priority_class=2)
+        results = engine.serve_continuous([low_a, low_b, vip], step_us=10.0)
+        recs = engine.completions
+        assert recs["vip-0000"].step <= min(
+            recs["low-0000"].step, recs["low-0001"].step
+        )
+        for req in (low_a, low_b, vip):
+            sequential = engine.encoder.forward(req.activations[None])[0]
+            assert np.array_equal(results[req.request_id], sequential)
 
 
 class TestCompletionMetadata:

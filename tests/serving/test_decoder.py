@@ -23,6 +23,7 @@ from repro.serving import (
     DecodeRequest,
     DecoderServingEngine,
     Request,
+    SchedulingConfig,
     ShapeBucketBatcher,
     decode_reference,
 )
@@ -247,6 +248,127 @@ class TestKVBudgetAdmission:
         assert "kvr-1" in results
 
 
+class TestPreemptionGoldenCells:
+    """The SLO tentpole's decode guarantee: a preempted resident releases
+    its rung slot but KEEPS its KV blocks, and resumes bit-exactly from
+    them — preemption moves work, never numerics."""
+
+    def _engine(self, **scheduling_kwargs):
+        from repro.serving import ServingConfig
+
+        scheduling = SchedulingConfig(
+            policy="priority", preemption=True, **scheduling_kwargs
+        )
+        return DecoderServingEngine(
+            make_encoder(),
+            batcher=ContinuousBatcher.ladder(
+                max_batch_size=1, scheduling=scheduling
+            ),
+            config=ServingConfig(block_size=4, capacity_blocks=128),
+        )
+
+    def test_preempted_decode_resumes_bit_exact_from_retained_kv(self, rng):
+        encoder = make_encoder()
+        engine = self._engine()
+        low = DecodeRequest(
+            "low", rng.normal(size=(5, HIDDEN)).astype(np.float32),
+            new_tokens=6, arrival_us=0.0,
+        )
+        high = DecodeRequest(
+            "high", rng.normal(size=(6, HIDDEN)).astype(np.float32),
+            new_tokens=2, arrival_us=2.0, priority_class=1,
+        )
+        # Same rung (prompts 5 and 6 both bucket to 8), one slot: the high
+        # class can only run by evicting the mid-flight low decode.
+        key = engine.batcher.bucket_key(low.as_request())
+        assert key == engine.batcher.bucket_key(high.as_request())
+        results = engine.serve_continuous([low, high], step_us=1.0)
+        assert engine.preemptions >= 1
+        assert engine.resumes >= 1
+        # The high class finished first despite arriving mid-decode...
+        assert (
+            engine.completions["high"].completed_us
+            < engine.completions["low"].completed_us
+        )
+        # ... and BOTH outputs are bit-for-bit the fault-free recompute —
+        # the resumed decode continued from its retained blocks exactly.
+        for req in (low, high):
+            expected = decode_reference(encoder, req.prompt, req.new_tokens)
+            assert np.array_equal(results[req.request_id], expected), req.request_id
+        # Everything reclaimed: slots, KV blocks, budget, parking lot.
+        stats = engine.stats()
+        assert stats["preempted_parked"] == 0
+        assert engine.cache_stats()["sequences"] == 0
+        assert engine.batcher.kv_reserved == 0
+        assert sum(engine.batcher._occupancy.values()) == 0
+
+    def test_preemption_runs_are_deterministic(self, rng):
+        def run():
+            local = np.random.default_rng(21)
+            engine = self._engine()
+            reqs = [
+                DecodeRequest(
+                    f"det-{i}", local.normal(size=(5 + i % 2, HIDDEN)).astype(np.float32),
+                    new_tokens=3 + i % 3, arrival_us=float(i),
+                    priority_class=i % 2,
+                )
+                for i in range(5)
+            ]
+            engine.serve_continuous(reqs, step_us=1.0)
+            return (
+                engine.preemptions,
+                engine.resumes,
+                {rid: (rec.step, rec.completed_us) for rid, rec in engine.completions.items()},
+            )
+
+        assert run() == run()
+
+    def test_preempted_then_expired_decode_frees_parked_kv(self, rng):
+        """A preempted decode whose deadline passes while parked is torn
+        down completely: timed_out outcome, parked KV blocks freed, budget
+        reservation returned (the `_expire_pending` override)."""
+        engine = self._engine()
+        low = DecodeRequest(
+            "doomed", rng.normal(size=(5, HIDDEN)).astype(np.float32),
+            new_tokens=12, arrival_us=0.0, deadline_us=4.0,
+        )
+        high = DecodeRequest(
+            "vip", rng.normal(size=(6, HIDDEN)).astype(np.float32),
+            new_tokens=8, arrival_us=1.0, priority_class=1,
+        )
+        results = engine.serve_continuous([low, high], step_us=1.0)
+        assert engine.preemptions >= 1
+        assert engine.resumes == 0  # the victim never came back
+        assert engine.outcomes["doomed"].status == "timed_out"
+        assert "doomed" not in results
+        expected = decode_reference(make_encoder(), high.prompt, high.new_tokens)
+        assert np.array_equal(results["vip"], expected)
+        assert engine.stats()["preempted_parked"] == 0
+        assert engine.cache_stats()["sequences"] == 0
+        assert engine.batcher.kv_reserved == 0
+        assert sum(engine.batcher._occupancy.values()) == 0
+
+    def test_no_preemption_within_the_same_class(self, rng):
+        """Equal classes never evict each other: the second request waits
+        for the slot like plain FCFS."""
+        engine = self._engine()
+        a = DecodeRequest(
+            "peer-a", rng.normal(size=(5, HIDDEN)).astype(np.float32),
+            new_tokens=4, arrival_us=0.0, priority_class=1,
+        )
+        b = DecodeRequest(
+            "peer-b", rng.normal(size=(6, HIDDEN)).astype(np.float32),
+            new_tokens=2, arrival_us=1.0, priority_class=1,
+        )
+        results = engine.serve_continuous([a, b], step_us=1.0)
+        assert engine.preemptions == 0
+        assert len(results) == 2
+        assert (
+            engine.completions["peer-a"].completed_us
+            < engine.completions["peer-b"].completed_us
+        )
+
+
 class TestCacheLifecycle:
     def test_exhaustion_raises_with_block_accounting(self, rng):
         engine = DecoderServingEngine(
@@ -348,9 +470,18 @@ class TestDecoderIntakeAndStats:
             "kv_budget_blocks",
             "kv_reserved",
             "occupied_slots",
+            "policy",
+            "per_class",
         ):
             assert key in admission
         assert admission["kv_budget_blocks"] == 32
+        # SLO scheduling unused: FCFS policy, one zeroed per-class block,
+        # and the preemption counters sit at zero — normalized, not absent.
+        assert admission["policy"] == "fcfs"
+        assert admission["per_class"] == {0: {"shed": 0, "expired": 0, "pending": 0}}
+        assert stats["preemptions"] == 0
+        assert stats["resumes"] == 0
+        assert stats["preempted_parked"] == 0
         assert stats["cache"]["block_size"] == engine.kv.block_size
         assert stats["outcomes"]["ok"] == 1
 

@@ -37,6 +37,7 @@ from repro.serving import (
     FaultSpec,
     ModelServingEngine,
     Request,
+    SchedulingConfig,
     ServingEngine,
     ServingSimReport,
     SimulatedRequest,
@@ -385,6 +386,90 @@ class TestDecoderEngineUnderFaults:
         assert engine.batcher.pending == 0
         assert engine.stats()["residents"] == 0
 
+    def test_priority_preemption_under_chaos_replays_and_reclaims(self, rng):
+        """The SLO chaos cell: seeded faults + priority scheduling +
+        preemption on the decoder.  Two replays produce identical outcomes
+        and preemption counters; every ``ok`` decode — preempted-and-resumed
+        or not — is bit-for-bit the fault-free recompute; and every slot,
+        KV block and budget reservation comes back."""
+        baseline_encoder = self._encoder()
+
+        def build_requests(local):
+            # One rung, one slot: the class-1 requests can only run by
+            # preempting the long class-0 decode mid-flight.
+            return [
+                DecodeRequest(
+                    "slow-low",
+                    local.normal(size=(5, HIDDEN)).astype(np.float32),
+                    new_tokens=8, arrival_us=0.0,
+                ),
+                DecodeRequest(
+                    "vip-a",
+                    local.normal(size=(6, HIDDEN)).astype(np.float32),
+                    new_tokens=2, arrival_us=2.0, priority_class=1,
+                ),
+                DecodeRequest(
+                    "vip-b",
+                    local.normal(size=(7, HIDDEN)).astype(np.float32),
+                    new_tokens=3, arrival_us=3.0, priority_class=1,
+                ),
+            ]
+
+        def run():
+            local = np.random.default_rng(FAULT_SEED + 7)
+            engine = DecoderServingEngine(
+                self._encoder(),
+                batcher=ContinuousBatcher.ladder(
+                    max_batch_size=1,
+                    scheduling=SchedulingConfig(policy="priority", preemption=True),
+                ),
+            )
+            plan = FaultPlan.seeded(
+                [b.name for b in engine.dispatcher.backends],
+                seed=FAULT_SEED,
+                failure_rate=0.05,
+            )
+            FaultInjector(plan).arm(engine.dispatcher)
+            requests = build_requests(local)
+            results = engine.serve_continuous(requests, step_us=1.0)
+            return engine, requests, results
+
+        first_engine, requests, first_results = run()
+        second_engine, _, second_results = run()
+
+        # Replay determinism, per-class outcomes included.
+        outcomes = {rid: o.status for rid, o in first_engine.outcomes.items()}
+        assert outcomes == {rid: o.status for rid, o in second_engine.outcomes.items()}
+        by_class = {0: [], 1: []}
+        for req in requests:
+            by_class[req.priority_class].append(outcomes[req.request_id])
+        assert by_class == {
+            0: [first_engine.outcomes["slow-low"].status],
+            1: [outcomes["vip-a"], outcomes["vip-b"]],
+        }
+        assert first_engine.preemptions == second_engine.preemptions
+        assert first_engine.resumes == second_engine.resumes
+        assert first_engine.preemptions >= 1
+
+        # Survivors are bit-exact — preemption under faults never buys
+        # schedule room with numerics.
+        ok_count = 0
+        for req in requests:
+            if first_engine.outcomes[req.request_id].ok:
+                ok_count += 1
+                expected = decode_reference(baseline_encoder, req.prompt, req.new_tokens)
+                assert np.array_equal(first_results[req.request_id], expected)
+                assert np.array_equal(second_results[req.request_id], expected)
+        assert ok_count >= 1
+
+        # Reclamation: slots, KV, budget, parking lot — all returned.
+        for engine in (first_engine, second_engine):
+            assert engine.cache_stats()["sequences"] == 0
+            assert engine.batcher.kv_reserved == 0
+            assert engine.batcher.pending == 0
+            assert sum(engine.batcher._occupancy.values()) == 0
+            assert engine.stats()["preempted_parked"] == 0
+
     def test_fault_free_decode_replays_identically_under_disarm(self, rng):
         """Arm-then-disarm restores the unwrapped backends: a decode run
         after disarm is bit-for-bit a never-armed engine's."""
@@ -451,6 +536,71 @@ class TestChaosSimulation:
         assert reports[0].counts() == {"ok": 4, "failed": 4, "timed_out": 0, "shed": 4}
         assert reports[0].availability == 4 / 12
         assert reports[0].summary() == reports[1].summary()
+
+    def test_per_class_breakout_replays_identically_under_fault_seed(self, operand):
+        """Chaos + priority traffic (the ISSUE's SLO satellite): two replays
+        of a seeded fault plan over a two-class trace produce identical
+        per-class outcome breakdowns."""
+        plan = FaultPlan.seeded(
+            ("cublas-dense", "spatha-plan"), seed=FAULT_SEED, failure_rate=0.15,
+            latency_rate=0.1,
+        )
+
+        def trace():
+            low = self._requests(n=24, deadline_after_us=4000.0)
+            high = poisson_arrivals(
+                8, rate_rps=500.0, tokens=[5, 12], seed=FAULT_SEED + 1,
+                deadline_after_us=4000.0, prefix="vip", priority_class=1,
+            )
+            return sorted(low + high, key=lambda r: (r.arrival_us, r.request_id))
+
+        kwargs = dict(max_queue_depth=8, shed_policy="drop-expired")
+        first = simulate_chaos(operand, trace(), plan, **kwargs)
+        second = simulate_chaos(operand, trace(), plan, **kwargs)
+        assert first.per_class() == second.per_class()
+        assert set(first.per_class()) == {0, 1}
+        per_class = first.per_class()
+        assert per_class[0]["requests"] == 24
+        assert per_class[1]["requests"] == 8
+        total = first.counts()
+        for state in ("ok", "failed", "timed_out", "shed"):
+            assert per_class[0][state] + per_class[1][state] == total[state]
+        assert "per_class" in first.summary()
+
+    def test_pinned_per_class_counts_for_explicit_plan(self, operand):
+        """Two-class pinned cell: with every backend's call 0 failing and a
+        depth-4 queue, the first chunk fails, the burst overflow sheds, and
+        the late wave completes — with EXACT per-class counts that must
+        never move across replays."""
+        requests = [
+            SimulatedRequest(
+                f"pin-{i:02d}",
+                tokens=12,
+                arrival_us=0.0 if i < 8 else 5000.0,
+                priority_class=i % 2,
+            )
+            for i in range(12)
+        ]
+        backends = [b.name for b in KernelDispatcher().backends]
+        plan = FaultPlan(
+            [FaultSpec(backend=n, kind="transient", at_call=0, count=1) for n in backends]
+        )
+        reports = [
+            simulate_chaos(operand, requests, plan, max_queue_depth=4)
+            for _ in range(2)
+        ]
+        assert reports[0].per_class() == reports[1].per_class()
+        per_class = reports[0].per_class()
+        # The burst alternates classes, so every phase splits evenly: the
+        # 4-failed first chunk, the 4 shed overflow, the 4 ok stragglers.
+        for cls in (0, 1):
+            assert per_class[cls]["requests"] == 6
+            assert per_class[cls]["failed"] == 2
+            assert per_class[cls]["shed"] == 2
+            assert per_class[cls]["ok"] == 2
+            assert per_class[cls]["timed_out"] == 0
+            assert per_class[cls]["shed_rate"] == pytest.approx(2 / 6)
+            assert per_class[cls]["violation_rate"] == 0.0
 
     def test_fault_free_plan_is_fully_available(self, operand):
         report = simulate_chaos(operand, self._requests(n=16), FaultPlan())
